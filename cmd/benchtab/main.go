@@ -1,0 +1,83 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation section (§5) from the simulated machines.
+//
+// Usage:
+//
+//	benchtab -all                 # every table and figure
+//	benchtab -table 1             # just Table 1
+//	benchtab -figure 8            # just Figure 8
+//	benchtab -quick               # small problem sizes (fast smoke run)
+//	benchtab -reps 9              # compile-time measurement repetitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trapnull/internal/bench"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "render every table and figure")
+		table     = flag.Int("table", 0, "render one table (1-7)")
+		figure    = flag.Int("figure", 0, "render one figure (8-15)")
+		quick     = flag.Bool("quick", false, "use small problem sizes")
+		reps      = flag.Int("reps", 5, "compile-time measurement repetitions")
+		ablations = flag.Bool("ablations", false, "run the ablation experiments instead")
+		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
+	)
+	flag.Parse()
+
+	if *ablations {
+		out, err := bench.Ablations(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	if !*all && *table == 0 && *figure == 0 {
+		*all = true
+	}
+
+	rep, err := bench.RunAll(bench.Options{Quick: *quick, CompileReps: *reps})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	arts := rep.Artifacts()
+	emit := func(name string) {
+		fn, ok := arts[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown artifact %q\n", name)
+			os.Exit(1)
+		}
+		fmt.Println(fn())
+	}
+
+	switch {
+	case *all:
+		for _, name := range bench.ArtifactNames() {
+			emit(name)
+		}
+	case *table != 0:
+		emit(fmt.Sprintf("table%d", *table))
+	case *figure != 0:
+		emit(fmt.Sprintf("figure%d", *figure))
+	}
+}

@@ -1,0 +1,178 @@
+// Command nulljit compiles and runs one workload under one JIT
+// configuration, printing the optimized IR of the entry function, the
+// compile-side statistics, and the simulated execution profile. It is the
+// inspection tool for understanding what each configuration did to a
+// program.
+//
+// Usage:
+//
+//	nulljit -workload Assignment -config full -arch ia32 -print
+//	nulljit -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/codegen"
+	"trapnull/internal/ir"
+	"trapnull/internal/jasm"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+	"trapnull/internal/workloads"
+)
+
+func configByName(name string) (jit.Config, error) {
+	all := append(jit.WindowsConfigs(), jit.AIXConfigs()...)
+	all = append(all, jit.ConfigAIXWriteImplicit())
+	short := map[string]string{
+		"notrap":    "NoNullOpt(NoTrap)",
+		"trap":      "NoNullOpt(Trap)",
+		"old":       "OldNullCheck",
+		"phase1":    "NewNullCheck(Phase1)",
+		"full":      "NewNullCheck(Phase1+2)",
+		"hotspot":   "HotSpotSim",
+		"spec":      "Speculation",
+		"nospec":    "NoSpeculation",
+		"aixbase":   "NoNullCheckOpt",
+		"illegal":   "IllegalImplicit(NoSpec)",
+		"writeimpl": "WriteImplicit(Spec)",
+	}
+	if long, ok := short[strings.ToLower(name)]; ok {
+		name = long
+	}
+	for _, c := range all {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	names := make([]string, 0, len(short))
+	for k := range short {
+		names = append(names, k)
+	}
+	return jit.Config{}, fmt.Errorf("unknown config %q (try one of %s)", name, strings.Join(names, ", "))
+}
+
+func main() {
+	var (
+		file   = flag.String("file", "", "run a .jasm program instead of a workload (entry func: main)")
+		wname  = flag.String("workload", "Assignment", "workload name (see -list)")
+		cname  = flag.String("config", "full", "configuration (notrap|trap|old|phase1|full|hotspot|spec|nospec|aixbase|illegal)")
+		aname  = flag.String("arch", "ia32", "architecture model (ia32|aix|sparc)")
+		n      = flag.Int64("n", 0, "problem size (0 = workload default)")
+		pr     = flag.Bool("print", false, "print the optimized entry function IR")
+		asm    = flag.Bool("asm", false, "print the lowered machine listing with cycle costs")
+		dump   = flag.Bool("dump", false, "print the whole optimized program as jasm source")
+		list   = flag.Bool("list", false, "list workloads and exit")
+		before = flag.Bool("print-before", false, "print the unoptimized entry function IR")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-20s %-10s N=%d\n", w.Name, w.Suite, w.N)
+		}
+		return
+	}
+
+	cfg, err := configByName(*cname)
+	fail(err)
+	model, err := arch.ByName(*aname)
+	fail(err)
+
+	var prog *ir.Program
+	var entryFn *ir.Func
+	var ref func(int64) int64
+	size := *n
+
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		fail(err)
+		parsed, funcs, err := jasm.Parse(string(src))
+		fail(err)
+		if funcs["main"] == nil {
+			fail(fmt.Errorf("%s defines no func main", *file))
+		}
+		prog = parsed
+		entryFn = funcs["main"]
+	} else {
+		w, err := workloads.ByName(*wname)
+		fail(err)
+		if size == 0 {
+			size = w.N
+		}
+		p, entryM := w.Build()
+		prog = p
+		entryFn = entryM.Fn
+		ref = w.Ref
+	}
+	if *before {
+		fmt.Println("=== before optimization ===")
+		fmt.Print(entryFn.String())
+	}
+
+	res, err := jit.CompileProgram(prog, cfg, model)
+	fail(err)
+
+	if *pr {
+		fmt.Println("=== after optimization ===")
+		fmt.Print(entryFn.String())
+	}
+	if *asm {
+		fmt.Println("=== lowered listing ===")
+		fmt.Print(codegen.Lower(entryFn, model).String())
+	}
+	if *dump {
+		fmt.Print(jasm.Format(prog))
+	}
+
+	m := machine.New(model, prog)
+	var out machine.Outcome
+	if entryFn.NumParams > 0 {
+		out, err = m.Call(entryFn, size)
+	} else {
+		out, err = m.Call(entryFn)
+	}
+	fail(err)
+
+	label := *wname
+	if *file != "" {
+		label = *file
+	}
+	fmt.Printf("program     %s (n=%d) on %s under %s\n", label, size, model.Name, cfg.Name)
+	if out.Exc != rt.ExcNone {
+		fmt.Printf("exception   %v\n", out.Exc)
+	} else if ref != nil {
+		want := ref(size)
+		status := "OK"
+		if out.Value != want {
+			status = fmt.Sprintf("MISMATCH (want %d)", want)
+		}
+		fmt.Printf("checksum    %d  [%s]\n", out.Value, status)
+	} else {
+		fmt.Printf("result      %d\n", out.Value)
+	}
+	fmt.Printf("cycles      %d  (%.3f sim ms at %d MHz)\n",
+		m.Cycles, float64(m.Cycles)/float64(model.ClockHz)*1000, model.ClockHz/1_000_000)
+	fmt.Printf("compile     nullcheck-opt %v, other %v\n", res.Times.NullCheckOpt, res.Times.Other)
+	fmt.Printf("static      eliminated=%d inserted=%d implicit=%d explicit-left=%d\n",
+		res.Checks.Eliminated, res.Checks.Inserted, res.Checks.Implicit, res.Checks.ExplicitRemaining)
+	fmt.Printf("inline      devirtualized=%d inlined=%d intrinsified=%d\n",
+		res.Inline.Devirtualized, res.Inline.Inlined, res.Inline.Intrinsified)
+	fmt.Printf("scalar      cse=%d hoisted=%d promoted=%d speculated=%d boundchecks-removed=%d\n",
+		res.Scalar.CSE, res.Scalar.Hoisted, res.Scalar.Promoted, res.Scalar.Speculated, res.BoundChecksRemoved)
+	fmt.Printf("dynamic     instrs=%d explicit-checks=%d implicit-sites=%d boundchecks=%d loads=%d stores=%d calls=%d traps=%d\n",
+		m.Stats.Instrs, m.Stats.ExplicitChecks, m.Stats.ImplicitSites, m.Stats.BoundChecks,
+		m.Stats.Loads, m.Stats.Stores, m.Stats.Calls, m.Stats.TrapsTaken)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nulljit: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package trapnull is a from-scratch reproduction of "Effective Null
+// Pointer Check Elimination Utilizing Hardware Trap" (Kawahito, Komatsu,
+// Nakatani — ASPLOS 2000) as a Go library.
+//
+// The paper's two-phase null check optimization lives in
+// internal/nullcheck; the JIT pipeline configurations of the evaluation in
+// internal/jit; the simulated machines (IA32/Windows, PowerPC/AIX trap
+// models) in internal/arch, internal/rt and internal/machine; the
+// benchmark kernels mirroring jBYTEmark and SPECjvm98 in
+// internal/workloads; and the table/figure regeneration harness in
+// internal/bench.
+//
+// Start with README.md, DESIGN.md (system inventory and experiment index),
+// and EXPERIMENTS.md (paper-vs-measured for every table and figure). The
+// runnable entry points are cmd/benchtab, cmd/nulljit and the programs
+// under examples/.
+package trapnull

@@ -1,0 +1,110 @@
+// Speculation: the Figure 6 / §3.3.1 scenario on the AIX model. The loop
+// writes a field first and reads an invariant array afterwards, so the read
+// checks cannot move backward past the store. On a machine where reads
+// through null cannot trap (AIX), the reads themselves may be hoisted
+// *above* their null checks — speculatively — and out of the loop.
+//
+//	go run ./examples/speculation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/machine"
+	"trapnull/internal/nullcheck"
+	"trapnull/internal/opt"
+)
+
+// build constructs the Figure 6 shape:
+//
+//	do { acc.f = v; v += k[0]; } while (++i < n)
+//
+// with k fetched from a holder so nothing proves it non-null.
+func build(cls *ir.Class) (*ir.Program, *ir.Func) {
+	prog := ir.NewProgram("speculation")
+	b := ir.NewFunc("kernel", false)
+	acc := b.Param("acc", ir.KindRef)
+	k := b.Param("k", ir.KindRef)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	v := b.Local("v", ir.KindInt)
+
+	entry := b.Block("entry")
+	body := b.DeclareBlock("body")
+	exit := b.DeclareBlock("exit")
+	b.SetBlock(entry)
+	b.Move(i, ir.ConstInt(0))
+	b.Move(v, ir.ConstInt(0))
+	b.Jump(body)
+	b.SetBlock(body)
+	// Store first: the barrier of Figure 6 ("a.I = T2").
+	b.PutField(acc, cls.FieldByName("f"), ir.Var(v))
+	// Read after: "arraylength b" / "b[T1]" — checks stuck below the store.
+	kv := b.Temp(ir.KindInt)
+	b.ArrayLoad(kv, k, ir.ConstInt(0))
+	b.Binop(ir.OpAdd, v, ir.Var(v), ir.Var(kv))
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+	b.SetBlock(exit)
+	b.Return(ir.Var(v))
+	fn := b.Finish()
+	prog.AddMethod(nil, "kernel", fn, false)
+	return prog, fn
+}
+
+func main() {
+	aix := arch.PPCAIX()
+
+	countSpeculated := func(f *ir.Func) int {
+		n := 0
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Speculated {
+					n++
+				}
+			}
+		}
+		return n
+	}
+
+	run := func(name string, speculate bool) int64 {
+		cls := ir.NewProgram("x").NewClass("Acc", &ir.Field{Name: "f", Kind: ir.KindInt})
+		prog, fn := build(cls)
+		nullcheck.Phase1(fn)
+		model := *aix
+		model.SpeculativeReads = speculate
+		st := opt.ScalarReplace(fn, &model)
+		opt.CopyProp(fn)
+		opt.DCE(fn)
+		opt.SimplifyCFG(fn)
+		if err := nullcheck.CheckGuards(fn, aix); err != nil {
+			log.Fatalf("%s: guard check failed: %v", name, err)
+		}
+
+		m := machine.New(aix, prog)
+		obj := m.Heap.AllocObject(cls)
+		arr := m.Heap.AllocArray(1)
+		m.Heap.Store(arr+ir.ArrayHeaderBytes, 5)
+		out, err := m.Call(fn, obj, arr, 50000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s hoisted=%d speculated-loads=%d result=%d cycles=%d\n",
+			name, st.Hoisted, countSpeculated(fn), out.Value, m.Cycles)
+		return m.Cycles
+	}
+
+	fmt.Println("AIX model: writes trap, reads do not (Figure 5(2)); explicit")
+	fmt.Println("checks are 1-cycle conditional traps; the store blocks check motion.")
+	fmt.Println()
+	noSpec := run("no speculation", false)
+	spec := run("speculation", true)
+	fmt.Printf("\nspeculation is %.1f%% faster: the array reads moved above their\n",
+		(float64(noSpec)/float64(spec)-1)*100)
+	fmt.Println("null checks and out of the loop — legal only because a null read")
+	fmt.Println("cannot trap on this platform (§3.3.1)")
+}

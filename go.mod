@@ -1,0 +1,3 @@
+module trapnull
+
+go 1.22

@@ -1,0 +1,229 @@
+// Package arch models the architecture/OS combinations of the paper: how the
+// hardware trap behaves for null dereferences and what each instruction
+// costs. Phase 2 of the null check optimization consults the model to decide
+// which checks may become implicit; the machine simulator consults it to
+// decide which accesses trap; the code generator consults the cost table.
+package arch
+
+import (
+	"fmt"
+
+	"trapnull/internal/ir"
+)
+
+// Model describes one target platform.
+type Model struct {
+	Name string
+
+	// ClockHz converts simulated cycles into simulated time; the paper's
+	// machines were a 600 MHz Pentium III and a 332 MHz PowerPC 604e.
+	ClockHz int64
+
+	// TrapAreaBytes is the size of the protected region starting at address
+	// zero. An access to [0, TrapAreaBytes) raises a hardware trap — if the
+	// access kind traps at all on this OS. Field offsets at or beyond the
+	// area never trap (the paper's "BigOffset" case, Figure 5(1)).
+	TrapAreaBytes int64
+
+	// TrapOnRead / TrapOnWrite say whether reads/writes inside the trap
+	// area raise a trap the JIT can turn into a NullPointerException.
+	// Windows/IA32 traps on both; AIX traps only on writes (Figure 5(2)).
+	TrapOnRead  bool
+	TrapOnWrite bool
+
+	// SpeculativeReads is the flip side of !TrapOnRead: a read through a
+	// null reference is guaranteed harmless, so scalar replacement may
+	// hoist reads above their null checks (paper §3.3.1).
+	SpeculativeReads bool
+
+	// MathIntrinsics reports whether math functions lower to single
+	// instructions. True on the paper's IA32 (exp), false on PowerPC,
+	// where Math.exp stays a call and blocks scalar replacement (§5.4).
+	MathIntrinsics bool
+
+	// Cycle costs of the operations the code generator emits.
+	ExplicitNullCheckCycles int64 // IA32 compare+branch: 2; PPC trap-word: 1
+	BoundCheckCycles        int64
+	LoadCycles              int64
+	StoreCycles             int64
+	AluCycles               int64
+	MulCycles               int64
+	DivCycles               int64
+	FAddCycles              int64
+	FMulCycles              int64
+	FDivCycles              int64
+	MathCycles              int64 // intrinsic math instruction
+	BranchCycles            int64
+	MoveCycles              int64
+	CallOverheadCycles      int64 // static call linkage
+	VirtualDispatchCycles   int64 // extra for vtable load + indirect call
+	AllocCycles             int64 // base cost of new/newarray
+	AllocPerWordCycles      int64
+	ReturnCycles            int64
+	// TrapDispatchCycles is the (large) cost of taking a real hardware trap
+	// and routing it through the OS to the JIT's handler. Only paid when a
+	// null is actually dereferenced, which is the exceptional path.
+	TrapDispatchCycles int64
+}
+
+// IA32Win models the paper's Pentium III / Windows NT target: reads and
+// writes both trap on the first page, explicit checks cost a compare and a
+// conditional branch, and Math.exp is an instruction.
+func IA32Win() *Model {
+	return &Model{
+		Name:                    "ia32-win",
+		ClockHz:                 600_000_000, // Pentium III 600 MHz
+		TrapAreaBytes:           4096,
+		TrapOnRead:              true,
+		TrapOnWrite:             true,
+		SpeculativeReads:        false,
+		MathIntrinsics:          true,
+		ExplicitNullCheckCycles: 2,
+		BoundCheckCycles:        2,
+		LoadCycles:              2,
+		StoreCycles:             2,
+		AluCycles:               1,
+		MulCycles:               4,
+		DivCycles:               20,
+		FAddCycles:              3,
+		FMulCycles:              4,
+		FDivCycles:              18,
+		MathCycles:              40,
+		BranchCycles:            1,
+		MoveCycles:              1,
+		CallOverheadCycles:      10,
+		VirtualDispatchCycles:   6,
+		AllocCycles:             30,
+		AllocPerWordCycles:      1,
+		ReturnCycles:            2,
+		TrapDispatchCycles:      5000,
+	}
+}
+
+// PPCAIX models the paper's PowerPC 604e / AIX 4.3.3 target: only writes to
+// the first page trap, reads are speculable, the explicit check is a
+// one-cycle conditional trap instruction (tw), and math stays a call.
+func PPCAIX() *Model {
+	return &Model{
+		Name:                    "ppc-aix",
+		ClockHz:                 332_000_000, // PowerPC 604e 332 MHz
+		TrapAreaBytes:           4096,
+		TrapOnRead:              false,
+		TrapOnWrite:             true,
+		SpeculativeReads:        true,
+		MathIntrinsics:          false,
+		ExplicitNullCheckCycles: 1, // conditional trap: one cycle when not taken
+		BoundCheckCycles:        2,
+		LoadCycles:              2,
+		StoreCycles:             2,
+		AluCycles:               1,
+		MulCycles:               4,
+		DivCycles:               21,
+		FAddCycles:              3,
+		FMulCycles:              3,
+		FDivCycles:              18,
+		MathCycles:              40,
+		BranchCycles:            1,
+		MoveCycles:              1,
+		CallOverheadCycles:      12,
+		VirtualDispatchCycles:   7,
+		AllocCycles:             30,
+		AllocPerWordCycles:      1,
+		ReturnCycles:            2,
+		TrapDispatchCycles:      5000,
+	}
+}
+
+// SPARCLike models LaTTe's assumption (§2.1): every null dereference traps,
+// with a generous protected area.
+func SPARCLike() *Model {
+	m := IA32Win()
+	m.Name = "sparc-like"
+	m.TrapAreaBytes = 8192
+	m.MathIntrinsics = false
+	return m
+}
+
+// ByName returns a model for the CLI flags.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "ia32-win", "ia32", "win":
+		return IA32Win(), nil
+	case "ppc-aix", "ppc", "aix":
+		return PPCAIX(), nil
+	case "sparc-like", "sparc":
+		return SPARCLike(), nil
+	}
+	return nil, fmt.Errorf("arch: unknown model %q", name)
+}
+
+// TrapsForAccess reports whether a null-based access described by sa is
+// guaranteed to raise a hardware trap on this model. This is the condition
+// for converting the access's null check into an implicit one: the offset
+// must be statically inside the protected area and the OS must trap for the
+// access kind. Dynamic (array element) offsets are never guaranteed.
+func (m *Model) TrapsForAccess(sa ir.SlotAccess) bool {
+	if sa.Dynamic || sa.Offset < 0 || int64(sa.Offset) >= m.TrapAreaBytes {
+		return false
+	}
+	if sa.IsWrite {
+		return m.TrapOnWrite
+	}
+	return m.TrapOnRead
+}
+
+// Cost returns the cycle cost of executing one IR instruction on this model.
+// OpNullCheck costs apply only to explicit checks; implicit checks were
+// deleted by phase 2 and cost nothing, which is the entire point.
+func (m *Model) Cost(in *ir.Instr) int64 {
+	switch in.Op {
+	case ir.OpMove:
+		return m.MoveCycles
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpNeg, ir.OpNot, ir.OpIntToFloat, ir.OpFloatToInt, ir.OpCmp:
+		return m.AluCycles
+	case ir.OpMul:
+		return m.MulCycles
+	case ir.OpDiv, ir.OpRem:
+		return m.DivCycles
+	case ir.OpFAdd, ir.OpFSub, ir.OpFNeg:
+		return m.FAddCycles
+	case ir.OpFMul:
+		return m.FMulCycles
+	case ir.OpFDiv:
+		return m.FDivCycles
+	case ir.OpMath:
+		return m.MathCycles
+	case ir.OpInstanceOf:
+		// Null test + header load + class compare.
+		return m.AluCycles + m.LoadCycles + m.AluCycles
+	case ir.OpNullCheck:
+		return m.ExplicitNullCheckCycles
+	case ir.OpBoundCheck:
+		return m.BoundCheckCycles
+	case ir.OpGetField, ir.OpArrayLength, ir.OpArrayLoad:
+		return m.LoadCycles
+	case ir.OpPutField, ir.OpArrayStore:
+		return m.StoreCycles
+	case ir.OpNew:
+		return m.AllocCycles + m.AllocPerWordCycles*int64(in.Class.SizeBytes/ir.WordBytes)
+	case ir.OpNewArray:
+		return m.AllocCycles // per-word cost added at runtime by the machine
+	case ir.OpCallStatic:
+		return m.CallOverheadCycles
+	case ir.OpCallVirtual:
+		return m.CallOverheadCycles + m.VirtualDispatchCycles + m.LoadCycles
+	case ir.OpJump:
+		// Unconditional branches fall out of code layout (block
+		// straightening); charging them would bill the optimizer's own
+		// CFG scaffolding against the optimization being measured.
+		return 0
+	case ir.OpIf:
+		return m.BranchCycles
+	case ir.OpReturn:
+		return m.ReturnCycles
+	case ir.OpThrow:
+		return m.BranchCycles
+	}
+	return 1
+}

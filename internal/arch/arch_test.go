@@ -1,0 +1,126 @@
+package arch
+
+import (
+	"testing"
+
+	"trapnull/internal/ir"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ia32-win", "ppc-aix", "sparc-like", "ia32", "aix", "sparc"} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("vax"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+func TestIA32TrapsReadAndWrite(t *testing.T) {
+	m := IA32Win()
+	read := ir.SlotAccess{Base: 0, Offset: 8}
+	write := ir.SlotAccess{Base: 0, Offset: 8, IsWrite: true}
+	if !m.TrapsForAccess(read) {
+		t.Fatal("ia32 must trap small-offset reads")
+	}
+	if !m.TrapsForAccess(write) {
+		t.Fatal("ia32 must trap small-offset writes")
+	}
+}
+
+func TestAIXTrapsOnlyWrites(t *testing.T) {
+	m := PPCAIX()
+	read := ir.SlotAccess{Base: 0, Offset: 8}
+	write := ir.SlotAccess{Base: 0, Offset: 8, IsWrite: true}
+	if m.TrapsForAccess(read) {
+		t.Fatal("aix must not trap reads (Figure 5(2))")
+	}
+	if !m.TrapsForAccess(write) {
+		t.Fatal("aix must trap writes")
+	}
+	if !m.SpeculativeReads {
+		t.Fatal("aix must allow read speculation")
+	}
+}
+
+func TestBigOffsetNeverTraps(t *testing.T) {
+	m := IA32Win()
+	big := ir.SlotAccess{Base: 0, Offset: int32(m.TrapAreaBytes)}
+	if m.TrapsForAccess(big) {
+		t.Fatal("offset at trap-area boundary must not be trusted to trap (Figure 5(1))")
+	}
+	edge := ir.SlotAccess{Base: 0, Offset: int32(m.TrapAreaBytes - ir.WordBytes)}
+	if !m.TrapsForAccess(edge) {
+		t.Fatal("last in-area offset must trap")
+	}
+}
+
+func TestDynamicAccessNeverGuaranteed(t *testing.T) {
+	for _, m := range []*Model{IA32Win(), PPCAIX(), SPARCLike()} {
+		dyn := ir.SlotAccess{Base: 0, Offset: -1, Dynamic: true}
+		if m.TrapsForAccess(dyn) {
+			t.Fatalf("%s: dynamic array offset must never be a guaranteed trap", m.Name)
+		}
+	}
+}
+
+func TestExplicitCheckCheaperOnPPC(t *testing.T) {
+	// The paper attributes smaller AIX deltas to the 1-cycle conditional
+	// trap instruction (§5.4); the models must preserve that relationship.
+	if PPCAIX().ExplicitNullCheckCycles >= IA32Win().ExplicitNullCheckCycles {
+		t.Fatal("ppc explicit check must be cheaper than ia32's")
+	}
+}
+
+func TestCostTableCoversAllOps(t *testing.T) {
+	m := IA32Win()
+	cls := &ir.Class{Name: "C", SizeBytes: 24}
+	callee := &ir.Method{Name: "m"}
+	field := &ir.Field{Name: "f", Offset: 8}
+	instrs := []*ir.Instr{
+		{Op: ir.OpMove, Args: []ir.Operand{ir.ConstInt(0)}},
+		{Op: ir.OpAdd, Args: []ir.Operand{ir.ConstInt(0), ir.ConstInt(0)}},
+		{Op: ir.OpMul, Args: []ir.Operand{ir.ConstInt(0), ir.ConstInt(0)}},
+		{Op: ir.OpDiv, Args: []ir.Operand{ir.ConstInt(0), ir.ConstInt(1)}},
+		{Op: ir.OpFAdd, Args: []ir.Operand{ir.ConstFloat(0), ir.ConstFloat(0)}},
+		{Op: ir.OpFMul, Args: []ir.Operand{ir.ConstFloat(0), ir.ConstFloat(0)}},
+		{Op: ir.OpFDiv, Args: []ir.Operand{ir.ConstFloat(0), ir.ConstFloat(1)}},
+		{Op: ir.OpMath, Fn: ir.MathExp, Args: []ir.Operand{ir.ConstFloat(0)}},
+		{Op: ir.OpNullCheck, Args: []ir.Operand{ir.Var(0)}},
+		{Op: ir.OpBoundCheck, Args: []ir.Operand{ir.ConstInt(0), ir.ConstInt(1)}},
+		{Op: ir.OpGetField, Field: field, Args: []ir.Operand{ir.Var(0)}},
+		{Op: ir.OpPutField, Field: field, Args: []ir.Operand{ir.Var(0), ir.ConstInt(0)}},
+		{Op: ir.OpArrayLength, Args: []ir.Operand{ir.Var(0)}},
+		{Op: ir.OpArrayLoad, Args: []ir.Operand{ir.Var(0), ir.ConstInt(0)}},
+		{Op: ir.OpArrayStore, Args: []ir.Operand{ir.Var(0), ir.ConstInt(0), ir.ConstInt(0)}},
+		{Op: ir.OpNew, Class: cls},
+		{Op: ir.OpNewArray, Args: []ir.Operand{ir.ConstInt(4)}},
+		{Op: ir.OpCallStatic, Callee: callee},
+		{Op: ir.OpCallVirtual, Callee: callee, Args: []ir.Operand{ir.Var(0)}},
+		{Op: ir.OpJump},
+		{Op: ir.OpIf, Args: []ir.Operand{ir.ConstInt(0), ir.ConstInt(0)}},
+		{Op: ir.OpReturn},
+		{Op: ir.OpThrow, Args: []ir.Operand{ir.Var(0)}},
+	}
+	for _, in := range instrs {
+		c := m.Cost(in)
+		if in.Op == ir.OpJump {
+			// Unconditional jumps are free: block straightening hides them.
+			if c != 0 {
+				t.Fatalf("cost of jump = %d, want 0", c)
+			}
+			continue
+		}
+		if c <= 0 {
+			t.Fatalf("cost of %s = %d, want positive", in.Op, c)
+		}
+	}
+	// Virtual dispatch must cost more than a static call.
+	static := &ir.Instr{Op: ir.OpCallStatic, Callee: callee}
+	virt := &ir.Instr{Op: ir.OpCallVirtual, Callee: callee, Args: []ir.Operand{ir.Var(0)}}
+	if m.Cost(virt) <= m.Cost(static) {
+		t.Fatal("virtual call must cost more than static call")
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/jit"
+	"trapnull/internal/workloads"
+)
+
+func TestAblationsRender(t *testing.T) {
+	out, err := Ablations(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Ablation A", "Ablation B", "Ablation C", "Ablation D"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in ablation output", want)
+		}
+	}
+}
+
+// TestAblationIterationsMonotone: more phase-1 iterations never hurt, and
+// the second iteration already captures the bulk of the gain (the paper's
+// "a few times").
+func TestAblationIterationsMonotone(t *testing.T) {
+	model := arch.IA32Win()
+	w, err := workloads.ByName("Assignment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := func(iters int) int64 {
+		cfg := jit.ConfigPhase1Phase2()
+		cfg.Iterations = iters
+		c, err := ablRun(w, cfg, model, w.TestN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1, c2, c5 := cycles(1), cycles(2), cycles(5)
+	if !(c5 <= c2 && c2 <= c1) {
+		t.Fatalf("iteration sweep not monotone: 1->%d 2->%d 5->%d", c1, c2, c5)
+	}
+	if c2 == c1 {
+		t.Log("note: second iteration added nothing at quick size")
+	}
+}
+
+// TestAblationNullRateCrossover: the design assumption of the whole paper —
+// traps only pay when nulls are rare. Explicit checks must win once nulls
+// are common, and trap-based checks must win when nulls never occur.
+func TestAblationNullRateCrossover(t *testing.T) {
+	model := arch.IA32Win()
+	w := workloads.NullStorm()
+	run := func(cfg jit.Config, rate int64) int64 {
+		c, err := ablRun(w, cfg, model, rate)
+		if err != nil {
+			t.Fatalf("rate=%d: %v", rate, err)
+		}
+		return c
+	}
+	// No nulls: the trap configuration is at least as fast.
+	if e, tr := run(jit.ConfigNoNullOptNoTrap(), 0), run(jit.ConfigPhase1Phase2(), 0); tr > e {
+		t.Fatalf("rate 0: trap config slower (%d > %d)", tr, e)
+	}
+	// Frequent nulls: explicit checks win decisively.
+	if e, tr := run(jit.ConfigNoNullOptNoTrap(), 500), run(jit.ConfigPhase1Phase2(), 500); e >= tr {
+		t.Fatalf("rate 500: explicit checks did not win (%d >= %d)", e, tr)
+	}
+}
+
+// TestAblationTrapAreaBoundary: a big-offset field converts to an implicit
+// check exactly when the protected area covers its offset.
+func TestAblationTrapAreaBoundary(t *testing.T) {
+	w := workloads.BigOffsetWalk()
+	run := func(area int64) int64 {
+		model := arch.IA32Win()
+		model.TrapAreaBytes = area
+		prog, entryM := w.Build()
+		if _, err := jit.CompileProgram(prog, jit.ConfigPhase1Phase2(), model); err != nil {
+			t.Fatal(err)
+		}
+		m := newMachineFor(model, prog)
+		out, err := m.Call(entryM.Fn, w.TestN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Value != w.Ref(w.TestN) {
+			t.Fatalf("area=%d: checksum mismatch", area)
+		}
+		return m.Stats.ExplicitChecks
+	}
+	small := run(4 << 10)
+	big := run(512 << 10)
+	if small == 0 {
+		t.Fatal("small trap area: far-field check vanished illegally")
+	}
+	if big != 0 {
+		t.Fatalf("large trap area: %d explicit checks remain", big)
+	}
+}
+
+// TestExtensionWorkloadsMatchReference: the ablation workloads obey the same
+// differential contract as the paper's seventeen.
+func TestExtensionWorkloadsMatchReference(t *testing.T) {
+	model := arch.IA32Win()
+	for _, w := range []*workloads.Workload{workloads.NullStorm(), workloads.BigOffsetWalk()} {
+		for _, cfg := range jit.WindowsConfigs() {
+			if _, err := ablRun(w, cfg, model, w.TestN); err != nil {
+				t.Fatalf("%s under %s: %v", w.Name, cfg.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package bench is the experiment harness: it runs every workload under
+// every JIT configuration on the simulated machines and renders the rows of
+// each table and the series of each figure in the paper's evaluation
+// section (§5). Checksums are verified against the pure-Go references on
+// every run, so the benchmark numbers can never come from broken code.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+	"trapnull/internal/workloads"
+)
+
+// Cell is one (configuration, workload) measurement.
+type Cell struct {
+	Workload string
+	Config   string
+	// Cycles is the simulated execution cost; SimSeconds converts it at the
+	// model's clock rate.
+	Cycles     int64
+	SimSeconds float64
+	// Compile times are real (host) durations of our optimizer, split the
+	// way Table 4 reports them.
+	CompileNull  time.Duration
+	CompileOther time.Duration
+	// Exec counts dynamic events; Static summarizes the compile-side check
+	// statistics.
+	Exec   machine.ExecStats
+	Static jit.Result
+}
+
+// CompileTotal returns the whole compile time for the cell.
+func (c *Cell) CompileTotal() time.Duration { return c.CompileNull + c.CompileOther }
+
+// Matrix holds the cells of one (model, config set, workload set) sweep.
+type Matrix struct {
+	Model     *arch.Model
+	Configs   []jit.Config
+	Workloads []*workloads.Workload
+	Quick     bool
+	// Cells is indexed [config name][workload name].
+	Cells map[string]map[string]*Cell
+}
+
+// Cell returns the measurement for (config, workload).
+func (m *Matrix) Cell(config, workload string) *Cell {
+	if row, ok := m.Cells[config]; ok {
+		return row[workload]
+	}
+	return nil
+}
+
+// Options tunes a sweep.
+type Options struct {
+	// Quick selects the small problem sizes (used by tests).
+	Quick bool
+	// CompileReps measures compilation this many times and keeps the
+	// fastest, stabilizing the µs-scale timings of Tables 3–5. Minimum 1.
+	CompileReps int
+}
+
+// Run sweeps configs × workloads on the model.
+func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts Options) (*Matrix, error) {
+	if opts.CompileReps < 1 {
+		opts.CompileReps = 1
+	}
+	m := &Matrix{
+		Model:     model,
+		Configs:   configs,
+		Workloads: ws,
+		Quick:     opts.Quick,
+		Cells:     make(map[string]map[string]*Cell),
+	}
+	for _, cfg := range configs {
+		row := make(map[string]*Cell, len(ws))
+		m.Cells[cfg.Name] = row
+		for _, w := range ws {
+			cell, err := runOne(model, cfg, w, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%s: %w", cfg.Name, w.Name, err)
+			}
+			row[w.Name] = cell
+		}
+	}
+	return m, nil
+}
+
+func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options) (*Cell, error) {
+	n := w.N
+	if opts.Quick {
+		n = w.TestN
+	}
+
+	// Compile: repeat for timing stability, keeping the fastest rep (the
+	// one least disturbed by the host). The final rep's program is run.
+	var best *jit.Result
+	var finalProg *machine.Machine
+	for rep := 0; rep < opts.CompileReps; rep++ {
+		p, entryM := w.Build()
+		res, err := jit.CompileProgram(p, cfg, model)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Times.Total() < best.Times.Total() {
+			best = res
+		}
+		if rep == opts.CompileReps-1 {
+			mach := machine.New(model, p)
+			out, err := mach.Call(entryM.Fn, n)
+			if err != nil {
+				return nil, err
+			}
+			if out.Exc != rt.ExcNone {
+				return nil, fmt.Errorf("unexpected exception %v", out.Exc)
+			}
+			if want := w.Ref(n); out.Value != want {
+				return nil, fmt.Errorf("checksum mismatch: got %d, want %d", out.Value, want)
+			}
+			finalProg = mach
+		}
+	}
+
+	cell := &Cell{
+		Workload:     w.Name,
+		Config:       cfg.Name,
+		Cycles:       finalProg.Cycles,
+		SimSeconds:   float64(finalProg.Cycles) / float64(model.ClockHz),
+		CompileNull:  best.Times.NullCheckOpt,
+		CompileOther: best.Times.Other,
+		Exec:         finalProg.Stats,
+		Static:       *best,
+	}
+	return cell, nil
+}
+
+// Index is the jBYTEmark-style score: iterations of the reference machine
+// per simulated second (larger is better).
+func (c *Cell) Index() float64 {
+	if c.SimSeconds == 0 {
+		return 0
+	}
+	return 1.0 / c.SimSeconds
+}
+
+// SimMillis returns the SPECjvm98-style time metric (smaller is better).
+func (c *Cell) SimMillis() float64 { return c.SimSeconds * 1000 }
+
+// Report bundles the four sweeps that feed every table and figure.
+type Report struct {
+	WinJB   *Matrix // Table 1, Figures 8/10
+	WinSpec *Matrix // Tables 2–5, Figures 9/11/12/13
+	AIXJB   *Matrix // Table 6, Figure 14
+	AIXSpec *Matrix // Table 7, Figure 15
+}
+
+// RunAll produces the full report.
+func RunAll(opts Options) (*Report, error) {
+	winJB, err := Run(arch.IA32Win(), jit.WindowsConfigs(), workloads.JBYTEmark(), opts)
+	if err != nil {
+		return nil, err
+	}
+	winSpec, err := Run(arch.IA32Win(), jit.WindowsConfigs(), workloads.SPECjvm98(), opts)
+	if err != nil {
+		return nil, err
+	}
+	aixJB, err := Run(arch.PPCAIX(), jit.AIXConfigs(), workloads.JBYTEmark(), opts)
+	if err != nil {
+		return nil, err
+	}
+	aixSpec, err := Run(arch.PPCAIX(), jit.AIXConfigs(), workloads.SPECjvm98(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{WinJB: winJB, WinSpec: winSpec, AIXJB: aixJB, AIXSpec: aixSpec}, nil
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// report runs the full sweep once (quick sizes) and is shared by the shape
+// tests below.
+var cachedReport *Report
+
+func getReport(t *testing.T) *Report {
+	t.Helper()
+	if cachedReport == nil {
+		r, err := RunAll(Options{Quick: true})
+		if err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+		cachedReport = r
+	}
+	return cachedReport
+}
+
+func TestRunAllProducesAllCells(t *testing.T) {
+	r := getReport(t)
+	for _, m := range []*Matrix{r.WinJB, r.WinSpec, r.AIXJB, r.AIXSpec} {
+		for _, cfg := range m.Configs {
+			for _, w := range m.Workloads {
+				c := m.Cell(cfg.Name, w.Name)
+				if c == nil {
+					t.Fatalf("missing cell %s/%s", cfg.Name, w.Name)
+				}
+				if c.Cycles <= 0 {
+					t.Fatalf("cell %s/%s has no cycles", cfg.Name, w.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestShapeConfigOrdering verifies the paper's headline ordering on every
+// Windows workload: the full algorithm never loses to the weaker
+// configurations.
+func TestShapeConfigOrdering(t *testing.T) {
+	r := getReport(t)
+	for _, m := range []*Matrix{r.WinJB, r.WinSpec} {
+		for _, w := range m.Workloads {
+			full := m.Cell("NewNullCheck(Phase1+2)", w.Name).Cycles
+			p1 := m.Cell("NewNullCheck(Phase1)", w.Name).Cycles
+			old := m.Cell("OldNullCheck", w.Name).Cycles
+			trap := m.Cell("NoNullOpt(Trap)", w.Name).Cycles
+			noTrap := m.Cell("NoNullOpt(NoTrap)", w.Name).Cycles
+			if !(full <= p1 && p1 <= old && old <= trap && trap <= noTrap) {
+				t.Errorf("%s: ordering violated: full=%d p1=%d old=%d trap=%d notrap=%d",
+					w.Name, full, p1, old, trap, noTrap)
+			}
+		}
+	}
+}
+
+// TestShapePhase1DominatesOnMatrixKernels: the paper's §5.1 finding — the
+// architecture-independent optimization is what moves Assignment, NeuralNet
+// and LUDecomposition.
+func TestShapePhase1DominatesOnMatrixKernels(t *testing.T) {
+	r := getReport(t)
+	for _, name := range []string{"Assignment", "NeuralNet", "LUDecomposition"} {
+		gain := improvement(r.WinJB, "OldNullCheck", "NewNullCheck(Phase1)", name)
+		if gain < 2 {
+			t.Errorf("%s: phase 1 gain over old algorithm = %.1f%%, want noticeable", name, gain)
+		}
+	}
+}
+
+// TestShapePhase2HelpsMTRT: §5.1's other finding — phase 2 pays on mtrt's
+// inlined accessors.
+func TestShapePhase2HelpsMTRT(t *testing.T) {
+	r := getReport(t)
+	full := r.WinSpec.Cell("NewNullCheck(Phase1+2)", "MTRT").Cycles
+	p1 := r.WinSpec.Cell("NewNullCheck(Phase1)", "MTRT").Cycles
+	if full >= p1 {
+		t.Errorf("MTRT: phase 2 added nothing: full=%d p1=%d", full, p1)
+	}
+}
+
+// TestShapeTrapHelpsCheckDenseKernels: hardware trap alone must pay on the
+// check-dense kernels (Table 1's Bitfield row et al.).
+func TestShapeTrapHelpsCheckDenseKernels(t *testing.T) {
+	r := getReport(t)
+	for _, name := range []string{"Bitfield", "HuffmanCompression", "NumericSort"} {
+		gain := improvement(r.WinJB, "NoNullOpt(NoTrap)", "NoNullOpt(Trap)", name)
+		if gain <= 0 {
+			t.Errorf("%s: trap-based checks gained %.1f%%, want > 0", name, gain)
+		}
+	}
+}
+
+// TestShapeFourierInsensitive: Table 1 shows Fourier flat across all
+// configurations (math dominates).
+func TestShapeFourierInsensitive(t *testing.T) {
+	r := getReport(t)
+	gain := improvement(r.WinJB, "NoNullOpt(NoTrap)", "NewNullCheck(Phase1+2)", "Fourier")
+	if gain > 15 {
+		t.Errorf("Fourier gained %.1f%%; the paper's kernel is insensitive (<~5%%)", gain)
+	}
+}
+
+// TestShapeAIXSpeculation: Figure 14 — speculation ≥ no-speculation
+// everywhere, and strictly better on the kernel with the Figure 6 pattern
+// (FPEmulation here; the paper's strongest case was Neural Net, whose
+// store-then-read shape our FPEmulation carries — see EXPERIMENTS.md).
+func TestShapeAIXSpeculation(t *testing.T) {
+	r := getReport(t)
+	for _, w := range r.AIXJB.Workloads {
+		spec := r.AIXJB.Cell("Speculation", w.Name).Cycles
+		nospec := r.AIXJB.Cell("NoSpeculation", w.Name).Cycles
+		if spec > nospec {
+			t.Errorf("%s: speculation slower: %d > %d", w.Name, spec, nospec)
+		}
+	}
+	fp := improvement(r.AIXJB, "NoSpeculation", "Speculation", "FPEmulation")
+	if fp <= 0 {
+		t.Errorf("FPEmulation: speculation gain = %.1f%%, want > 0 (paper §5.4)", fp)
+	}
+}
+
+// TestShapeIllegalImplicitBeatsLegalNoSpec: Tables 6/7 — assuming every
+// access traps (illegally) is at least as fast as keeping explicit checks.
+func TestShapeIllegalImplicitBeatsLegalNoSpec(t *testing.T) {
+	r := getReport(t)
+	for _, m := range []*Matrix{r.AIXJB, r.AIXSpec} {
+		for _, w := range m.Workloads {
+			ill := m.Cell("IllegalImplicit(NoSpec)", w.Name).Cycles
+			leg := m.Cell("NoSpeculation", w.Name).Cycles
+			if ill > leg {
+				t.Errorf("%s: illegal implicit slower than explicit checks: %d > %d",
+					w.Name, ill, leg)
+			}
+		}
+	}
+}
+
+// TestShapeAIXDeltasSmallerThanIA32: §5.4 — the 1-cycle conditional trap
+// makes the AIX improvement for the new algorithm smaller than on IA32 for
+// the check-sensitive kernels.
+func TestShapeAIXDeltasSmallerThanIA32(t *testing.T) {
+	r := getReport(t)
+	sumIA, sumAIX := 0.0, 0.0
+	for _, name := range []string{"NumericSort", "Bitfield", "HuffmanCompression", "IDEAEncryption"} {
+		sumIA += improvement(r.WinJB, "NoNullOpt(NoTrap)", "NewNullCheck(Phase1+2)", name)
+		sumAIX += improvement(r.AIXJB, "NoNullCheckOpt", "Speculation", name)
+	}
+	if sumAIX >= sumIA {
+		t.Errorf("AIX improvements (%.1f%%) should be smaller than IA32's (%.1f%%)", sumAIX, sumIA)
+	}
+}
+
+func TestAllArtifactsRender(t *testing.T) {
+	r := getReport(t)
+	arts := r.Artifacts()
+	for _, name := range ArtifactNames() {
+		fn, ok := arts[name]
+		if !ok {
+			t.Fatalf("artifact %s missing", name)
+		}
+		out := fn()
+		if len(out) == 0 || !strings.Contains(out, "\n") {
+			t.Fatalf("artifact %s rendered empty", name)
+		}
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := getReport(t)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"windows_jbytemark", "aix_specjvm98", "dyn_explicit_checks", "Assignment"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %q", want)
+		}
+	}
+}

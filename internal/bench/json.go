@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// jsonCell is the export shape of one measurement.
+type jsonCell struct {
+	Workload       string  `json:"workload"`
+	Config         string  `json:"config"`
+	Cycles         int64   `json:"cycles"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	CompileNullUS  int64   `json:"compile_nullcheck_us"`
+	CompileOtherUS int64   `json:"compile_other_us"`
+	ExplicitChecks int64   `json:"dyn_explicit_checks"`
+	ImplicitSites  int64   `json:"dyn_implicit_sites"`
+	BoundChecks    int64   `json:"dyn_bound_checks"`
+	Loads          int64   `json:"dyn_loads"`
+	Stores         int64   `json:"dyn_stores"`
+	TrapsTaken     int64   `json:"dyn_traps_taken"`
+	StaticImplicit int     `json:"static_implicit"`
+	StaticExplicit int     `json:"static_explicit_left"`
+	Eliminated     int     `json:"static_eliminated"`
+}
+
+// jsonReport is the export shape of a full run.
+type jsonReport struct {
+	GeneratedBy string                `json:"generated_by"`
+	Matrices    map[string][]jsonCell `json:"matrices"`
+}
+
+// JSON renders the whole report as machine-readable JSON, for plotting or
+// external analysis.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{
+		GeneratedBy: "trapnull benchtab",
+		Matrices:    map[string][]jsonCell{},
+	}
+	add := func(name string, m *Matrix) {
+		var cells []jsonCell
+		for _, cfg := range m.Configs {
+			for _, w := range m.Workloads {
+				c := m.Cell(cfg.Name, w.Name)
+				if c == nil {
+					continue
+				}
+				cells = append(cells, jsonCell{
+					Workload:       c.Workload,
+					Config:         c.Config,
+					Cycles:         c.Cycles,
+					SimSeconds:     c.SimSeconds,
+					CompileNullUS:  int64(c.CompileNull / time.Microsecond),
+					CompileOtherUS: int64(c.CompileOther / time.Microsecond),
+					ExplicitChecks: c.Exec.ExplicitChecks,
+					ImplicitSites:  c.Exec.ImplicitSites,
+					BoundChecks:    c.Exec.BoundChecks,
+					Loads:          c.Exec.Loads,
+					Stores:         c.Exec.Stores,
+					TrapsTaken:     c.Exec.TrapsTaken,
+					StaticImplicit: c.Static.Checks.Implicit,
+					StaticExplicit: c.Static.Checks.ExplicitRemaining,
+					Eliminated:     c.Static.Checks.Eliminated,
+				})
+			}
+		}
+		out.Matrices[name] = cells
+	}
+	add("windows_jbytemark", r.WinJB)
+	add("windows_specjvm98", r.WinSpec)
+	add("aix_jbytemark", r.AIXJB)
+	add("aix_specjvm98", r.AIXSpec)
+	return json.MarshalIndent(out, "", "  ")
+}

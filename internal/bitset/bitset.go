@@ -1,0 +1,222 @@
+// Package bitset provides dense bit vectors sized for data-flow analysis.
+//
+// The null check analyses in this repository are bit-vector problems whose
+// elements are local-variable indices; every lattice value is a Set. Sets are
+// mutable and cheap to copy, and all binary operations require operands of
+// identical length so that a mismatch is caught immediately rather than
+// silently truncated.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-size bit vector. The zero value is an empty set of size 0.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set able to hold elements 0..n-1.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// NewFull returns a set of size n with every bit set.
+func NewFull(n int) *Set {
+	s := New(n)
+	s.Fill()
+	return s
+}
+
+// Len returns the number of elements the set can hold.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+func (s *Set) sameSize(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Clear resets every bit.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets every bit.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes the unused high bits of the last word so that Equal and Count
+// remain exact after Fill or Complement.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Copy returns an independent copy of s.
+func (s *Set) Copy() *Set {
+	t := New(s.n)
+	copy(t.words, s.words)
+	return t
+}
+
+// CopyFrom overwrites s with the contents of t.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameSize(t)
+	copy(s.words, t.words)
+}
+
+// Union sets s = s ∪ t and reports whether s changed.
+func (s *Set) Union(t *Set) bool {
+	s.sameSize(t)
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect sets s = s ∩ t and reports whether s changed.
+func (s *Set) Intersect(t *Set) bool {
+	s.sameSize(t)
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] & w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Subtract sets s = s − t and reports whether s changed.
+func (s *Set) Subtract(t *Set) bool {
+	s.sameSize(t)
+	changed := false
+	for i, w := range t.words {
+		nw := s.words[i] &^ w
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Complement sets s = ¬s.
+func (s *Set) Complement() {
+	for i := range s.words {
+		s.words[i] = ^s.words[i]
+	}
+	s.trim()
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether no bit is set.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls f for every set bit in ascending order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems returns the set bits in ascending order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as {a, b, c}.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("after Add, missing %d", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Remove(64) did not clear the bit")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range Add")
+		}
+	}()
+	New(10).Add(10)
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched Union")
+		}
+	}()
+	New(10).Union(New(11))
+}
+
+func TestFillTrimAndComplement(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	if got := s.Count(); got != 70 {
+		t.Fatalf("Fill count = %d, want 70", got)
+	}
+	s.Complement()
+	if !s.IsEmpty() {
+		t.Fatalf("complement of full set not empty: %v", s)
+	}
+	s.Complement()
+	if got := s.Count(); got != 70 {
+		t.Fatalf("double complement count = %d, want 70", got)
+	}
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Add(i)
+	}
+	u := a.Copy()
+	if !u.Union(b) {
+		t.Fatal("Union reported no change")
+	}
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 || i%3 == 0
+		if u.Has(i) != want {
+			t.Fatalf("union bit %d = %v, want %v", i, u.Has(i), want)
+		}
+	}
+	in := a.Copy()
+	in.Intersect(b)
+	for i := 0; i < 100; i++ {
+		want := i%6 == 0
+		if in.Has(i) != want {
+			t.Fatalf("intersect bit %d = %v, want %v", i, in.Has(i), want)
+		}
+	}
+	d := a.Copy()
+	d.Subtract(b)
+	for i := 0; i < 100; i++ {
+		want := i%2 == 0 && i%3 != 0
+		if d.Has(i) != want {
+			t.Fatalf("subtract bit %d = %v, want %v", i, d.Has(i), want)
+		}
+	}
+}
+
+func TestChangedReporting(t *testing.T) {
+	a := New(64)
+	b := New(64)
+	b.Add(5)
+	if !a.Union(b) {
+		t.Fatal("Union of new element should report change")
+	}
+	if a.Union(b) {
+		t.Fatal("idempotent Union should report no change")
+	}
+	if a.Subtract(New(64)) {
+		t.Fatal("subtracting empty set should report no change")
+	}
+	if !a.Subtract(b) {
+		t.Fatal("subtracting present element should report change")
+	}
+}
+
+func TestElemsAndForEachOrder(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 128, 199}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Elems()
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEqualAndCopy(t *testing.T) {
+	a := New(77)
+	a.Add(5)
+	a.Add(76)
+	b := a.Copy()
+	if !a.Equal(b) {
+		t.Fatal("copy not equal to original")
+	}
+	b.Add(6)
+	if a.Equal(b) {
+		t.Fatal("mutating copy affected equality")
+	}
+	if a.Has(6) {
+		t.Fatal("copy shares storage with original")
+	}
+	if a.Equal(New(78)) {
+		t.Fatal("sets of different sizes reported equal")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(40)
+	a.Add(1)
+	b := New(40)
+	b.Add(2)
+	b.Add(3)
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Fatalf("CopyFrom: got %v want %v", a, b)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	if got := s.String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+	s.Add(1)
+	s.Add(7)
+	if got := s.String(); got != "{1, 7}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// randomSet builds a set of size n from a seed, used by the property tests.
+func randomSet(n int, seed int64) *Set {
+	r := rand.New(rand.NewSource(seed))
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 1 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// ¬(a ∪ b) == ¬a ∩ ¬b for arbitrary sets.
+	f := func(seedA, seedB int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		a := randomSet(n, seedA)
+		b := randomSet(n, seedB)
+		left := a.Copy()
+		left.Union(b)
+		left.Complement()
+		na := a.Copy()
+		na.Complement()
+		nb := b.Copy()
+		nb.Complement()
+		na.Intersect(nb)
+		return left.Equal(na)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubtractIdentity(t *testing.T) {
+	// a − b == a ∩ ¬b.
+	f := func(seedA, seedB int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		a := randomSet(n, seedA)
+		b := randomSet(n, seedB)
+		left := a.Copy()
+		left.Subtract(b)
+		nb := b.Copy()
+		nb.Complement()
+		right := a.Copy()
+		right.Intersect(nb)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountMatchesElems(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%200 + 1
+		s := randomSet(n, seed)
+		return s.Count() == len(s.Elems())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package cfg provides control-flow-graph analyses over ir.Func: reverse
+// postorder, dominators, and natural-loop detection with pre-header
+// creation. The loop machinery backs loop-invariant code motion, which is
+// the optimization the paper's phase 1 exists to unlock.
+package cfg
+
+import (
+	"trapnull/internal/ir"
+)
+
+// ReversePostorder returns the blocks reachable from entry in reverse
+// postorder. Forward data-flow problems converge fastest in this order and
+// backward problems in its reverse.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	return rpo(f, false)
+}
+
+// ReversePostorderWithHandlers additionally roots the traversal at every
+// try-region handler. Handlers have no ordinary CFG predecessors (exception
+// dispatch is not an edge), but their code runs; any analysis that feeds a
+// transformation — liveness for DCE, the guard checker — must cover them.
+func ReversePostorderWithHandlers(f *ir.Func) []*ir.Block {
+	return rpo(f, true)
+}
+
+func rpo(f *ir.Func, withHandlers bool) []*ir.Block {
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	if withHandlers {
+		for _, r := range f.Regions {
+			if !seen[r.Handler] {
+				dfs(r.Handler)
+			}
+		}
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable returns the set of blocks reachable from entry.
+func Reachable(f *ir.Func) map[*ir.Block]bool {
+	seen := make(map[*ir.Block]bool, len(f.Blocks))
+	work := []*ir.Block{f.Entry}
+	seen[f.Entry] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Dominators computes the immediate dominator of every reachable block using
+// the Cooper–Harvey–Kennedy iterative algorithm. The entry block's idom is
+// itself.
+type Dominators struct {
+	idom  map[*ir.Block]*ir.Block
+	order map[*ir.Block]int // RPO index
+}
+
+// ComputeDominators builds the dominator tree for f.
+func ComputeDominators(f *ir.Func) *Dominators {
+	rpo := ReversePostorder(f)
+	order := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make(map[*ir.Block]*ir.Block, len(rpo))
+	idom[f.Entry] = f.Entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &Dominators{idom: idom, order: order}
+}
+
+// Idom returns the immediate dominator of b (entry dominates itself).
+func (d *Dominators) Idom(b *ir.Block) *ir.Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexive).
+func (d *Dominators) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is a natural loop: a back edge tail->Header plus the body blocks.
+type Loop struct {
+	Header *ir.Block
+	// Blocks includes the header.
+	Blocks map[*ir.Block]bool
+	// Preheader is the unique out-of-loop predecessor of the header,
+	// created by EnsurePreheaders when absent.
+	Preheader *ir.Block
+	// Parent is the innermost enclosing loop, if any.
+	Parent *Loop
+}
+
+// Contains reports whether b is in the loop body.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// Depth returns the nesting depth (outermost = 1).
+func (l *Loop) Depth() int {
+	d := 0
+	for ; l != nil; l = l.Parent {
+		d++
+	}
+	return d
+}
+
+// FindLoops detects natural loops from back edges (tail dominated by head).
+// Loops sharing a header are merged. Results are sorted innermost-first
+// (by body size ascending), the order LICM wants.
+func FindLoops(f *ir.Func, dom *Dominators) []*Loop {
+	f.RecomputeEdges()
+	byHeader := make(map[*ir.Block]*Loop)
+	var loops []*Loop
+	for _, b := range ReversePostorder(f) {
+		for _, s := range b.Succs {
+			if !dom.Dominates(s, b) {
+				continue
+			}
+			// Back edge b -> s.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+				byHeader[s] = l
+				loops = append(loops, l)
+			}
+			// Walk predecessors from the tail up to the header.
+			work := []*ir.Block{b}
+			for len(work) > 0 {
+				n := work[len(work)-1]
+				work = work[:len(work)-1]
+				if l.Blocks[n] {
+					continue
+				}
+				l.Blocks[n] = true
+				for _, p := range n.Preds {
+					work = append(work, p)
+				}
+			}
+		}
+	}
+	// Sort innermost-first.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if len(loops[j].Blocks) < len(loops[i].Blocks) {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	// Link parents: the smallest other loop strictly containing the header.
+	for i, l := range loops {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j] != l && loops[j].Blocks[l.Header] && len(loops[j].Blocks) > len(l.Blocks) {
+				l.Parent = loops[j]
+				break
+			}
+		}
+	}
+	return loops
+}
+
+// EnsurePreheaders guarantees every loop has a dedicated preheader block:
+// a single edge into the header from outside the loop. Existing qualifying
+// predecessors are reused. Returns the number of blocks created.
+func EnsurePreheaders(f *ir.Func, loops []*Loop) int {
+	created := 0
+	for _, l := range loops {
+		var outside []*ir.Block
+		for _, p := range l.Header.Preds {
+			if !l.Blocks[p] {
+				outside = append(outside, p)
+			}
+		}
+		if len(outside) == 1 && len(outside[0].Succs) == 1 {
+			l.Preheader = outside[0]
+			continue
+		}
+		pre := f.NewBlock("pre_" + l.Header.Name)
+		pre.Try = l.Header.Try
+		pre.Instrs = []*ir.Instr{{Op: ir.OpJump, Dst: ir.NoVar, Targets: []*ir.Block{l.Header}}}
+		for _, p := range outside {
+			t := p.Terminator()
+			for i, tgt := range t.Targets {
+				if tgt == l.Header {
+					t.Targets[i] = pre
+				}
+			}
+		}
+		l.Preheader = pre
+		created++
+		f.RecomputeEdges()
+	}
+	return created
+}

@@ -1,0 +1,145 @@
+// Package codegen lowers optimized IR into the machine-level listing the
+// simulator executes: every instruction annotated with its cycle cost on the
+// target model, explicit null checks expanded to their two-instruction
+// compare/branch form (or the PowerPC conditional trap), and implicit checks
+// rendered as zero-cost exception-site annotations on their dereferences.
+//
+// The simulated machine interprets the IR directly for execution (the
+// listing and the interpreter share the arch cost model), so this package's
+// role is inspection and static accounting: the nulljit CLI prints listings,
+// and the static cycle totals feed sanity tests that the dynamic accounting
+// agrees with the per-instruction costs.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+)
+
+// AsmLine is one lowered instruction.
+type AsmLine struct {
+	Block  *ir.Block
+	Instr  *ir.Instr
+	Text   string
+	Cycles int64
+	// ExcSite marks the line as an implicit null check exception site.
+	ExcSite bool
+}
+
+// Listing is a lowered function.
+type Listing struct {
+	Fn    *ir.Func
+	Model *arch.Model
+	Lines []AsmLine
+	// StaticCycles is the sum of all line costs (an upper bound on one
+	// straight-line pass, not an execution estimate).
+	StaticCycles int64
+	// ExplicitChecks / ImplicitSites count lowered checks by kind.
+	ExplicitChecks int
+	ImplicitSites  int
+}
+
+// Lower produces the listing of fn for the model.
+func Lower(fn *ir.Func, m *arch.Model) *Listing {
+	l := &Listing{Fn: fn, Model: m}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			line := AsmLine{
+				Block:   b,
+				Instr:   in,
+				Cycles:  m.Cost(in),
+				ExcSite: in.ExcSite,
+			}
+			line.Text = render(in, m)
+			if in.Op == ir.OpNullCheck {
+				l.ExplicitChecks++
+			}
+			if in.ExcSite {
+				l.ImplicitSites++
+			}
+			l.StaticCycles += line.Cycles
+			l.Lines = append(l.Lines, line)
+		}
+	}
+	return l
+}
+
+// render produces the assembly-flavoured text for one instruction.
+func render(in *ir.Instr, m *arch.Model) string {
+	switch in.Op {
+	case ir.OpNullCheck:
+		// The two lowering styles of §3.3.1 / §5.4.
+		v := in.Args[0]
+		if m.Name == "ppc-aix" {
+			return fmt.Sprintf("tweq   %s, 0           ; explicit null check (1-cycle conditional trap)", v)
+		}
+		return fmt.Sprintf("cmp    %s, 0 ; je .throw_npe  ; explicit null check", v)
+	case ir.OpGetField:
+		s := fmt.Sprintf("load   v%d <- [%s+%d]", in.Dst, in.Args[0], in.Field.Offset)
+		if in.ExcSite {
+			s += "   ; implicit null check (exception site)"
+		}
+		if in.Speculated {
+			s += "   ; speculated above its null check"
+		}
+		return s
+	case ir.OpPutField:
+		s := fmt.Sprintf("store  [%s+%d] <- %s", in.Args[0], in.Field.Offset, in.Args[1])
+		if in.ExcSite {
+			s += "   ; implicit null check (exception site)"
+		}
+		return s
+	case ir.OpArrayLength:
+		s := fmt.Sprintf("load   v%d <- [%s+0]        ; array length", in.Dst, in.Args[0])
+		if in.ExcSite {
+			s += " ; implicit null check"
+		}
+		if in.Speculated {
+			s += " ; speculated"
+		}
+		return s
+	case ir.OpArrayLoad:
+		return fmt.Sprintf("load   v%d <- [%s+8+8*%s]", in.Dst, in.Args[0], in.Args[1])
+	case ir.OpArrayStore:
+		return fmt.Sprintf("store  [%s+8+8*%s] <- %s", in.Args[0], in.Args[1], in.Args[2])
+	case ir.OpBoundCheck:
+		return fmt.Sprintf("cmp    %s, %s ; jae .throw_oob ; bounds check", in.Args[0], in.Args[1])
+	case ir.OpCallVirtual:
+		s := fmt.Sprintf("vcall  %s via [%s+0]", in.Callee.QualifiedName(), in.Args[0])
+		if in.ExcSite {
+			s += "   ; dispatch load is the implicit null check"
+		}
+		return s
+	case ir.OpCallStatic:
+		return fmt.Sprintf("call   %s", in.Callee.QualifiedName())
+	case ir.OpJump:
+		return fmt.Sprintf("jmp    %s               ; free (layout)", in.Targets[0])
+	case ir.OpIf:
+		return fmt.Sprintf("cmp/b  %s %s %s -> %s else %s", in.Args[0], in.Cond, in.Args[1], in.Targets[0], in.Targets[1])
+	default:
+		return in.String()
+	}
+}
+
+// String renders the whole listing.
+func (l *Listing) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s lowered for %s — %d lines, %d static cycles, %d explicit checks, %d implicit sites\n",
+		l.Fn.Name, l.Model.Name, len(l.Lines), l.StaticCycles, l.ExplicitChecks, l.ImplicitSites)
+	var cur *ir.Block
+	for _, line := range l.Lines {
+		if line.Block != cur {
+			cur = line.Block
+			fmt.Fprintf(&sb, "%s:", cur)
+			if cur.Try != ir.NoTry {
+				fmt.Fprintf(&sb, "   ; try region %d", cur.Try)
+			}
+			sb.WriteString("\n")
+		}
+		fmt.Fprintf(&sb, "  %3dcy  %s\n", line.Cycles, line.Text)
+	}
+	return sb.String()
+}

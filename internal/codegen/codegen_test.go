@@ -1,0 +1,114 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/machine"
+	"trapnull/internal/nullcheck"
+	"trapnull/internal/rt"
+)
+
+func sample() (*ir.Program, *ir.Class, *ir.Func) {
+	p := ir.NewProgram("cg")
+	cls := p.NewClass("C", &ir.Field{Name: "f", Kind: ir.KindInt})
+	b := ir.NewFunc("get", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, a, cls.FieldByName("f"))
+	b.Return(ir.Var(v))
+	fn := b.Finish()
+	p.AddMethod(nil, "get", fn, false)
+	return p, cls, fn
+}
+
+func TestLowerCountsChecks(t *testing.T) {
+	_, _, fn := sample()
+	m := arch.IA32Win()
+	l := Lower(fn, m)
+	if l.ExplicitChecks != 1 || l.ImplicitSites != 0 {
+		t.Fatalf("before opt: explicit=%d implicit=%d, want 1/0", l.ExplicitChecks, l.ImplicitSites)
+	}
+
+	nullcheck.Phase2(fn, m)
+	l = Lower(fn, m)
+	if l.ExplicitChecks != 0 || l.ImplicitSites != 1 {
+		t.Fatalf("after phase2: explicit=%d implicit=%d, want 0/1", l.ExplicitChecks, l.ImplicitSites)
+	}
+}
+
+func TestLoweringStylesPerArch(t *testing.T) {
+	_, _, fn := sample()
+	ia := Lower(fn, arch.IA32Win()).String()
+	if !strings.Contains(ia, "cmp") || !strings.Contains(ia, "je .throw_npe") {
+		t.Fatalf("ia32 listing missing compare/branch check:\n%s", ia)
+	}
+	_, _, fn2 := sample()
+	ppc := Lower(fn2, arch.PPCAIX()).String()
+	if !strings.Contains(ppc, "tweq") {
+		t.Fatalf("ppc listing missing conditional trap:\n%s", ppc)
+	}
+}
+
+func TestImplicitSiteAnnotated(t *testing.T) {
+	_, _, fn := sample()
+	m := arch.IA32Win()
+	nullcheck.Phase2(fn, m)
+	s := Lower(fn, m).String()
+	if !strings.Contains(s, "implicit null check") {
+		t.Fatalf("listing missing exception-site annotation:\n%s", s)
+	}
+}
+
+// TestStaticCostMatchesDynamicOnStraightLine: for a branch-free function the
+// machine's dynamic cycle count must equal the listing's static total —
+// the two accountings share one cost model and must not drift.
+func TestStaticCostMatchesDynamicOnStraightLine(t *testing.T) {
+	p := ir.NewProgram("straight")
+	cls := p.NewClass("C", &ir.Field{Name: "f", Kind: ir.KindInt})
+	b := ir.NewFunc("run", false)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	o := b.Temp(ir.KindRef)
+	b.New(o, cls)
+	b.PutField(o, cls.FieldByName("f"), ir.ConstInt(5))
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, o, cls.FieldByName("f"))
+	w := b.Temp(ir.KindInt)
+	b.Binop(ir.OpMul, w, ir.Var(v), ir.ConstInt(3))
+	b.Return(ir.Var(w))
+	fn := b.Finish()
+	p.AddMethod(nil, "run", fn, false)
+
+	m := arch.IA32Win()
+	l := Lower(fn, m)
+
+	mach := machine.New(m, p)
+	out, err := mach.Call(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Exc != rt.ExcNone || out.Value != 15 {
+		t.Fatalf("out = %+v", out)
+	}
+	if mach.Cycles != l.StaticCycles {
+		t.Fatalf("dynamic %d != static %d cycles", mach.Cycles, l.StaticCycles)
+	}
+}
+
+func TestListingCoversEveryInstruction(t *testing.T) {
+	_, _, fn := sample()
+	l := Lower(fn, arch.IA32Win())
+	if len(l.Lines) != fn.NumInstrs() {
+		t.Fatalf("listing has %d lines, function has %d instructions", len(l.Lines), fn.NumInstrs())
+	}
+	for _, line := range l.Lines {
+		if line.Text == "" {
+			t.Fatalf("empty text for %s", line.Instr.Op)
+		}
+	}
+}

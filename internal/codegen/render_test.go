@@ -1,0 +1,107 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/jit"
+	"trapnull/internal/workloads"
+)
+
+// TestRenderEveryOpcode lowers a function touching every opcode family and
+// checks each line renders non-trivially.
+func TestRenderEveryOpcode(t *testing.T) {
+	p := ir.NewProgram("all")
+	cls := p.NewClass("C", &ir.Field{Name: "f", Kind: ir.KindInt})
+	cb := ir.NewFunc("callee", true)
+	cb.Param("this", ir.KindRef)
+	cb.Block("entry")
+	cb.ReturnVoid()
+	calleeFn := cb.Finish()
+	meth := p.AddMethod(cls, "m", calleeFn, true)
+	static := p.AddMethod(nil, "s", calleeFn, false)
+
+	b := ir.NewFunc("omni", false)
+	a := b.Param("a", ir.KindRef)
+	n := b.Param("n", ir.KindInt)
+	x := b.Param("x", ir.KindFloat)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	tgt := b.DeclareBlock("tgt")
+	other := b.DeclareBlock("other")
+	handler := b.DeclareBlock("handler")
+	exc := b.Local("exc", ir.KindRef)
+
+	i := b.Temp(ir.KindInt)
+	fv := b.Temp(ir.KindFloat)
+	r := b.Temp(ir.KindRef)
+	arr := b.Temp(ir.KindRef)
+	b.Move(i, ir.ConstInt(1))
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.Var(n))
+	b.Binop(ir.OpDiv, i, ir.Var(i), ir.ConstInt(3))
+	b.Unop(ir.OpNeg, i, ir.Var(i))
+	b.Binop(ir.OpFMul, fv, ir.Var(x), ir.ConstFloat(2))
+	b.Unop(ir.OpIntToFloat, fv, ir.Var(i))
+	b.Cmp(i, ir.CondLT, ir.Var(n), ir.ConstInt(4))
+	b.Math(ir.MathSqrt, fv, ir.Var(x))
+	b.New(r, cls)
+	b.NewArray(arr, ir.ConstInt(4))
+	b.GetField(i, a, cls.FieldByName("f"))
+	b.PutField(a, cls.FieldByName("f"), ir.Var(i))
+	b.ArrayLength(i, arr)
+	b.ArrayLoad(i, arr, ir.ConstInt(0))
+	b.ArrayStore(arr, ir.ConstInt(0), ir.Var(i))
+	b.CallVirtual(ir.NoVar, meth, a)
+	b.CallStatic(ir.NoVar, static, ir.Var(a))
+	b.If(ir.CondNE, ir.Var(i), ir.ConstInt(0), tgt, other)
+	b.SetBlock(tgt)
+	b.Jump(other)
+	b.SetBlock(other)
+	b.Return(ir.Var(i))
+	b.SetBlock(handler)
+	b.Throw(exc)
+	f := b.F
+	region := f.NewRegion(handler, exc)
+	entry.Try = region.ID
+	f.RecomputeEdges()
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, m := range []*arch.Model{arch.IA32Win(), arch.PPCAIX()} {
+		l := Lower(f, m)
+		s := l.String()
+		for _, want := range []string{"load", "store", "vcall", "call", "cmp/b", "jmp",
+			"bounds check", "try region"} {
+			if !strings.Contains(s, want) {
+				t.Fatalf("%s listing missing %q:\n%s", m.Name, want, s)
+			}
+		}
+		if len(l.Lines) != f.NumInstrs() {
+			t.Fatalf("%s: %d lines for %d instrs", m.Name, len(l.Lines), f.NumInstrs())
+		}
+	}
+}
+
+// TestListingsForAllWorkloads: every optimized kernel lowers cleanly on both
+// models, and explicit-check counts in the listing match the IR.
+func TestListingsForAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		prog, entryM := w.Build()
+		if _, err := jit.CompileProgram(prog, jit.ConfigPhase1Phase2(), arch.IA32Win()); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, m := range []*arch.Model{arch.IA32Win(), arch.PPCAIX()} {
+			l := Lower(entryM.Fn, m)
+			if l.ExplicitChecks != entryM.Fn.CountOp(ir.OpNullCheck) {
+				t.Fatalf("%s/%s: listing counts %d checks, IR has %d",
+					w.Name, m.Name, l.ExplicitChecks, entryM.Fn.CountOp(ir.OpNullCheck))
+			}
+			if l.StaticCycles <= 0 {
+				t.Fatalf("%s/%s: no static cycles", w.Name, m.Name)
+			}
+		}
+	}
+}

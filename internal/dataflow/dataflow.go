@@ -1,0 +1,210 @@
+// Package dataflow implements a generic iterative bit-vector data-flow
+// solver. All four analyses of the paper (§4.1.1 backward insertion, §4.1.2
+// forward non-null, §4.2.1 forward motion, §4.2.2 backward substitutable)
+// instantiate it with their own Gen/Kill/Edge functions over variable-indexed
+// sets.
+package dataflow
+
+import (
+	"trapnull/internal/bitset"
+	"trapnull/internal/cfg"
+	"trapnull/internal/ir"
+)
+
+// Direction selects forward or backward propagation.
+type Direction uint8
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet selects the confluence operator.
+type Meet uint8
+
+const (
+	// Intersect is the must/all-paths meet (anticipability, availability).
+	Intersect Meet = iota
+	// Union is the may/some-path meet.
+	Union
+)
+
+// Problem describes one bit-vector data-flow problem. Gen and Kill summarize
+// a whole block; EdgeSubtract removes elements crossing a specific edge (the
+// paper's Edge_try) and EdgeAdd injects elements on an edge (the paper's
+// Edge sets: ifnonnull outcomes, the `this` parameter). Either edge function
+// may be nil.
+type Problem struct {
+	Dir      Direction
+	Meet     Meet
+	Size     int
+	Boundary *bitset.Set // value at the CFG boundary (entry or all exits)
+	Gen      func(b *ir.Block) *bitset.Set
+	Kill     func(b *ir.Block) *bitset.Set
+
+	EdgeSubtract func(from, to *ir.Block) *bitset.Set
+	EdgeAdd      func(from, to *ir.Block) *bitset.Set
+}
+
+// Result holds the fixpoint In/Out sets per block.
+type Result struct {
+	In  map[*ir.Block]*bitset.Set
+	Out map[*ir.Block]*bitset.Set
+}
+
+// GenKill adapts a combined per-block scan into the separate Gen/Kill
+// accessors of Problem, computing each block's summary exactly once. Every
+// analysis in this repository derives gen and kill from one walk over the
+// block, so this halves summary construction cost — compile time is itself a
+// measured quantity here (Tables 3–5).
+func GenKill(scan func(b *ir.Block) (gen, kill *bitset.Set)) (genFn, killFn func(*ir.Block) *bitset.Set) {
+	type pair struct{ gen, kill *bitset.Set }
+	cache := make(map[*ir.Block]pair)
+	get := func(b *ir.Block) pair {
+		if p, ok := cache[b]; ok {
+			return p
+		}
+		g, k := scan(b)
+		p := pair{g, k}
+		cache[b] = p
+		return p
+	}
+	return func(b *ir.Block) *bitset.Set { return get(b).gen },
+		func(b *ir.Block) *bitset.Set { return get(b).kill }
+}
+
+// Solve runs the iterative algorithm to a fixpoint over the reachable blocks
+// of f. Unreachable blocks receive empty sets. The returned sets are owned by
+// the caller.
+func Solve(f *ir.Func, p *Problem) *Result {
+	// Handlers run even though no CFG edge reaches them; they participate
+	// in every analysis with a conservative (empty) entry value.
+	rpo := cfg.ReversePostorderWithHandlers(f)
+	order := rpo
+	if p.Dir == Backward {
+		order = make([]*ir.Block, len(rpo))
+		for i, b := range rpo {
+			order[len(rpo)-1-i] = b
+		}
+	}
+	reach := make(map[*ir.Block]bool, len(rpo))
+	for _, b := range rpo {
+		reach[b] = true
+	}
+
+	res := &Result{
+		In:  make(map[*ir.Block]*bitset.Set, len(f.Blocks)),
+		Out: make(map[*ir.Block]*bitset.Set, len(f.Blocks)),
+	}
+	// Intersection problems start optimistic (full sets) so that loops reach
+	// the greatest fixpoint; union problems start empty for the least one.
+	// Unreachable blocks keep empty sets either way.
+	for _, b := range f.Blocks {
+		if p.Meet == Intersect && reach[b] {
+			res.In[b] = bitset.NewFull(p.Size)
+			res.Out[b] = bitset.NewFull(p.Size)
+		} else {
+			res.In[b] = bitset.New(p.Size)
+			res.Out[b] = bitset.New(p.Size)
+		}
+	}
+
+	gen := make(map[*ir.Block]*bitset.Set, len(rpo))
+	kill := make(map[*ir.Block]*bitset.Set, len(rpo))
+	for _, b := range rpo {
+		gen[b] = p.Gen(b)
+		kill[b] = p.Kill(b)
+	}
+
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = bitset.New(p.Size)
+	}
+
+	// meetInput computes the confluence value flowing into block b.
+	// fallback is used when b has no reachable neighbors: the boundary value
+	// at the true CFG boundary, the empty set for handler entries (the state
+	// at an exception dispatch point is unknown, so nothing may be assumed).
+	meetInput := func(b *ir.Block, neighbors []*ir.Block, fallback *bitset.Set, edgeFrom func(n *ir.Block) (from, to *ir.Block), neighborVal func(n *ir.Block) *bitset.Set) *bitset.Set {
+		acc := bitset.New(p.Size)
+		first := true
+		for _, n := range neighbors {
+			if !reach[n] {
+				continue
+			}
+			v := neighborVal(n).Copy()
+			from, to := edgeFrom(n)
+			if p.EdgeAdd != nil {
+				if add := p.EdgeAdd(from, to); add != nil {
+					v.Union(add)
+				}
+			}
+			if p.EdgeSubtract != nil {
+				if sub := p.EdgeSubtract(from, to); sub != nil {
+					v.Subtract(sub)
+				}
+			}
+			if first {
+				acc.CopyFrom(v)
+				first = false
+			} else if p.Meet == Intersect {
+				acc.Intersect(v)
+			} else {
+				acc.Union(v)
+			}
+		}
+		if first {
+			acc.CopyFrom(fallback)
+		}
+		return acc
+	}
+	empty := bitset.New(p.Size)
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if p.Dir == Forward {
+				fallback := empty
+				if b == f.Entry {
+					fallback = boundary
+				}
+				in := meetInput(b, b.Preds, fallback,
+					func(n *ir.Block) (*ir.Block, *ir.Block) { return n, b },
+					func(n *ir.Block) *bitset.Set { return res.Out[n] })
+				if b == f.Entry {
+					// The entry's preds (if any, e.g. a loop back to entry)
+					// still meet with the boundary.
+					if len(b.Preds) == 0 {
+						in.CopyFrom(boundary)
+					} else if p.Meet == Intersect {
+						in.Intersect(boundary)
+					} else {
+						in.Union(boundary)
+					}
+				}
+				out := in.Copy()
+				out.Subtract(kill[b])
+				out.Union(gen[b])
+				if !in.Equal(res.In[b]) || !out.Equal(res.Out[b]) {
+					res.In[b].CopyFrom(in)
+					res.Out[b].CopyFrom(out)
+					changed = true
+				}
+			} else {
+				out := meetInput(b, b.Succs, boundary,
+					func(n *ir.Block) (*ir.Block, *ir.Block) { return b, n },
+					func(n *ir.Block) *bitset.Set { return res.In[n] })
+				in := out.Copy()
+				in.Subtract(kill[b])
+				in.Union(gen[b])
+				if !in.Equal(res.In[b]) || !out.Equal(res.Out[b]) {
+					res.In[b].CopyFrom(in)
+					res.Out[b].CopyFrom(out)
+					changed = true
+				}
+			}
+		}
+	}
+	return res
+}

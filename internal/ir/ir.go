@@ -1,0 +1,203 @@
+// Package ir defines the intermediate representation of the trapnull JIT.
+//
+// The IR mirrors the one described in the paper: a control-flow graph of
+// basic blocks over named local variables, in which every potentially
+// null-dereferencing operation has been split into an explicit `nullcheck v`
+// instruction followed by the operation itself (Figure 6 of the paper). The
+// null check optimizations move, eliminate and re-materialize the NullCheck
+// instructions; the dereferencing instructions themselves never move unless a
+// memory-motion pass (scalar replacement / LICM) relocates them.
+//
+// Values are untyped 64-bit words at runtime; the static Kind on locals is
+// used for validation and printing. References are simulated heap addresses
+// and the null reference is address zero, exactly as on the paper's target
+// machines.
+package ir
+
+import "fmt"
+
+// Kind is the static type of a local variable or field.
+type Kind uint8
+
+const (
+	KindInt Kind = iota // 64-bit integer
+	KindFloat
+	KindRef // object or array reference
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindRef:
+		return "ref"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// VarID names a local variable within a function. Parameters occupy the
+// lowest IDs. NoVar marks an absent destination.
+type VarID int32
+
+// NoVar is the destination of instructions that produce no value.
+const NoVar VarID = -1
+
+// ObjectHeaderBytes is the size of the object header. Slot 0 of every object
+// holds its class ID (the dispatch table pointer in a real VM), so a virtual
+// call dereferences offset 0 and is therefore a hardware-trap point; fields
+// start immediately after the header.
+const ObjectHeaderBytes = 8
+
+// ArrayHeaderBytes is the size of the array header. The array length lives at
+// offset 0 — the layout the paper calls out as making `arraylength` (and thus
+// every bounds check) a reliable trap point.
+const ArrayHeaderBytes = 8
+
+// WordBytes is the size of every slot.
+const WordBytes = 8
+
+// Field describes an instance field.
+type Field struct {
+	Name   string
+	Kind   Kind
+	Offset int32 // byte offset from the object base, ≥ ObjectHeaderBytes
+	Class  *Class
+}
+
+func (f *Field) String() string {
+	if f.Class != nil {
+		return f.Class.Name + "." + f.Name
+	}
+	return f.Name
+}
+
+// Class describes an object layout and its virtual method table.
+type Class struct {
+	Name    string
+	ID      int32
+	Fields  []*Field
+	Methods []*Method // virtual slots, in declaration order
+	// SizeBytes is header plus all fields.
+	SizeBytes int32
+}
+
+// FieldByName returns the named field or nil.
+func (c *Class) FieldByName(name string) *Field {
+	for _, f := range c.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// MethodByName returns the named virtual method or nil.
+func (c *Class) MethodByName(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Method binds a function to a class (or to the program for statics).
+type Method struct {
+	Name    string
+	Class   *Class // nil for static methods
+	Fn      *Func
+	Virtual bool
+	// Intrinsic marks methods like Math.exp that some architectures lower to
+	// a single instruction instead of a call (paper §5.4, Neural Net).
+	Intrinsic MathFn
+}
+
+// QualifiedName returns Class.Name or just the method name for statics.
+func (m *Method) QualifiedName() string {
+	if m.Class != nil {
+		return m.Class.Name + "." + m.Name
+	}
+	return m.Name
+}
+
+// Program is a compilation unit: classes plus free-standing functions.
+type Program struct {
+	Name    string
+	Classes []*Class
+	Methods []*Method // all methods, including statics
+	nextID  int32
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{Name: name}
+}
+
+// NewClass declares a class with the given fields; offsets are assigned
+// sequentially after the header unless a field already carries a non-zero
+// offset (used to model the paper's "BigOffset" fields beyond the trap area).
+func (p *Program) NewClass(name string, fields ...*Field) *Class {
+	c := &Class{Name: name, ID: p.nextID + 1}
+	p.nextID++
+	off := int32(ObjectHeaderBytes)
+	max := int32(ObjectHeaderBytes)
+	for _, f := range fields {
+		if f.Offset == 0 {
+			f.Offset = off
+			off += WordBytes
+		}
+		f.Class = c
+		if f.Offset+WordBytes > max {
+			max = f.Offset + WordBytes
+		}
+		c.Fields = append(c.Fields, f)
+	}
+	c.SizeBytes = max
+	p.Classes = append(p.Classes, c)
+	return c
+}
+
+// AddMethod registers a method on a class (virtual) or the program (static).
+func (p *Program) AddMethod(c *Class, name string, fn *Func, virtual bool) *Method {
+	m := &Method{Name: name, Class: c, Fn: fn, Virtual: virtual}
+	if c != nil {
+		c.Methods = append(c.Methods, m)
+	}
+	p.Methods = append(p.Methods, m)
+	if fn != nil {
+		fn.Method = m
+	}
+	return m
+}
+
+// MethodByName finds a method by qualified name ("Class.m" or "m").
+func (p *Program) MethodByName(qname string) *Method {
+	for _, m := range p.Methods {
+		if m.QualifiedName() == qname {
+			return m
+		}
+	}
+	return nil
+}
+
+// ClassByName returns the named class or nil.
+func (p *Program) ClassByName(name string) *Class {
+	for _, c := range p.Classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ClassByID returns the class with the given ID or nil.
+func (p *Program) ClassByID(id int32) *Class {
+	for _, c := range p.Classes {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}

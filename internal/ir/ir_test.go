@@ -1,0 +1,326 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// point returns a small test program with a Point class.
+func point(t *testing.T) (*Program, *Class) {
+	t.Helper()
+	p := NewProgram("test")
+	c := p.NewClass("Point",
+		&Field{Name: "x", Kind: KindInt},
+		&Field{Name: "y", Kind: KindInt},
+	)
+	return p, c
+}
+
+func TestClassLayout(t *testing.T) {
+	_, c := point(t)
+	if got := c.FieldByName("x").Offset; got != ObjectHeaderBytes {
+		t.Fatalf("x offset = %d, want %d", got, ObjectHeaderBytes)
+	}
+	if got := c.FieldByName("y").Offset; got != ObjectHeaderBytes+WordBytes {
+		t.Fatalf("y offset = %d, want %d", got, ObjectHeaderBytes+WordBytes)
+	}
+	if got := c.SizeBytes; got != ObjectHeaderBytes+2*WordBytes {
+		t.Fatalf("SizeBytes = %d, want %d", got, ObjectHeaderBytes+2*WordBytes)
+	}
+}
+
+func TestBigOffsetFieldKeepsExplicitOffset(t *testing.T) {
+	p := NewProgram("test")
+	c := p.NewClass("Big",
+		&Field{Name: "near", Kind: KindInt},
+		&Field{Name: "far", Kind: KindInt, Offset: 1 << 19},
+	)
+	if got := c.FieldByName("far").Offset; got != 1<<19 {
+		t.Fatalf("far offset = %d, want %d", got, 1<<19)
+	}
+	if c.SizeBytes != 1<<19+WordBytes {
+		t.Fatalf("SizeBytes = %d", c.SizeBytes)
+	}
+}
+
+func TestBuilderEmitsSplitForm(t *testing.T) {
+	_, c := point(t)
+	b := NewFunc("get", true)
+	this := b.Param("this", KindRef)
+	b.Result(KindInt)
+	b.Block("entry")
+	x := b.Temp(KindInt)
+	b.GetField(x, this, c.FieldByName("x"))
+	b.Return(Var(x))
+	f := b.Finish()
+
+	blk := f.Entry
+	if blk.Instrs[0].Op != OpNullCheck {
+		t.Fatalf("first instr = %s, want nullcheck", blk.Instrs[0].Op)
+	}
+	if blk.Instrs[0].NullCheckVar() != this {
+		t.Fatalf("nullcheck guards v%d, want v%d", blk.Instrs[0].NullCheckVar(), this)
+	}
+	if blk.Instrs[1].Op != OpGetField {
+		t.Fatalf("second instr = %s, want getfield", blk.Instrs[1].Op)
+	}
+}
+
+func TestBuilderArrayLoadSequence(t *testing.T) {
+	b := NewFunc("sum0", false)
+	arr := b.Param("a", KindRef)
+	b.Result(KindInt)
+	b.Block("entry")
+	v := b.Temp(KindInt)
+	b.ArrayLoad(v, arr, ConstInt(0))
+	b.Return(Var(v))
+	f := b.Finish()
+
+	ops := []Op{OpNullCheck, OpArrayLength, OpBoundCheck, OpArrayLoad, OpReturn}
+	for i, want := range ops {
+		if got := f.Entry.Instrs[i].Op; got != want {
+			t.Fatalf("instr %d = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestRecomputeEdges(t *testing.T) {
+	b := NewFunc("branches", false)
+	n := b.Param("n", KindInt)
+	b.Result(KindInt)
+	entry := b.Block("entry")
+	then := b.DeclareBlock("then")
+	els := b.DeclareBlock("else")
+	b.SetBlock(entry)
+	b.If(CondLT, Var(n), ConstInt(0), then, els)
+	b.SetBlock(then)
+	b.Return(ConstInt(-1))
+	b.SetBlock(els)
+	b.Return(ConstInt(1))
+	b.Finish()
+
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2", len(entry.Succs))
+	}
+	if len(then.Preds) != 1 || then.Preds[0] != entry {
+		t.Fatalf("then preds wrong: %v", then.Preds)
+	}
+	if len(els.Preds) != 1 || els.Preds[0] != entry {
+		t.Fatalf("else preds wrong: %v", els.Preds)
+	}
+}
+
+// diamondWithSharedExit builds a CFG with a critical edge:
+// entry -> (A | merge), A -> merge; the entry->merge edge is critical.
+func diamondWithSharedExit() *Func {
+	b := NewFunc("crit", false)
+	n := b.Param("n", KindInt)
+	b.Result(KindInt)
+	entry := b.Block("entry")
+	a := b.DeclareBlock("a")
+	merge := b.DeclareBlock("merge")
+	b.SetBlock(entry)
+	b.If(CondLT, Var(n), ConstInt(0), a, merge)
+	b.SetBlock(a)
+	b.Jump(merge)
+	b.SetBlock(merge)
+	b.Return(Var(n))
+	return b.Finish()
+}
+
+func TestSplitCriticalEdges(t *testing.T) {
+	f := diamondWithSharedExit()
+	nBlocks := len(f.Blocks)
+	split := f.SplitCriticalEdges()
+	if split != 1 {
+		t.Fatalf("split = %d, want 1", split)
+	}
+	if len(f.Blocks) != nBlocks+1 {
+		t.Fatalf("blocks = %d, want %d", len(f.Blocks), nBlocks+1)
+	}
+	// After splitting, no edge may be critical.
+	f.RecomputeEdges()
+	for _, blk := range f.Blocks {
+		if len(blk.Succs) < 2 {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if len(s.Preds) >= 2 {
+				t.Fatalf("critical edge %s -> %s survived", blk, s)
+			}
+		}
+	}
+	if err := Validate(f); err != nil {
+		t.Fatalf("invalid after split: %v", err)
+	}
+}
+
+func TestSplitCriticalEdgesIdempotent(t *testing.T) {
+	f := diamondWithSharedExit()
+	f.SplitCriticalEdges()
+	if again := f.SplitCriticalEdges(); again != 0 {
+		t.Fatalf("second split = %d, want 0", again)
+	}
+}
+
+func TestValidateCatchesMissingTerminator(t *testing.T) {
+	f := &Func{Name: "bad"}
+	blk := f.NewBlock("entry")
+	blk.Instrs = []*Instr{{Op: OpMove, Dst: f.NewLocal("x", KindInt), Args: []Operand{ConstInt(1)}}}
+	if err := Validate(f); err == nil {
+		t.Fatal("expected error for missing terminator")
+	}
+}
+
+func TestValidateCatchesUndefinedVar(t *testing.T) {
+	f := &Func{Name: "bad"}
+	blk := f.NewBlock("entry")
+	blk.Instrs = []*Instr{
+		{Op: OpMove, Dst: 7, Args: []Operand{ConstInt(1)}},
+		{Op: OpReturn, Dst: NoVar},
+	}
+	if err := Validate(f); err == nil {
+		t.Fatal("expected error for undefined variable")
+	}
+}
+
+func TestValidateCatchesMidBlockTerminator(t *testing.T) {
+	f := &Func{Name: "bad"}
+	blk := f.NewBlock("entry")
+	blk.Instrs = []*Instr{
+		{Op: OpReturn, Dst: NoVar},
+		{Op: OpReturn, Dst: NoVar},
+	}
+	if err := Validate(f); err == nil {
+		t.Fatal("expected error for mid-block terminator")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := diamondWithSharedExit()
+	g := f.Clone()
+	if err := Validate(g); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Mutating the clone must not affect the original.
+	g.Entry.Instrs[0].Cond = CondGE
+	if f.Entry.Instrs[0].Cond == CondGE {
+		t.Fatal("clone shares instructions with original")
+	}
+	// Clone targets must point at clone blocks.
+	for _, blk := range g.Blocks {
+		for _, in := range blk.Instrs {
+			for _, tgt := range in.Targets {
+				found := false
+				for _, gb := range g.Blocks {
+					if tgt == gb {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatal("clone branch targets original block")
+				}
+			}
+		}
+	}
+}
+
+func TestInstrAttributes(t *testing.T) {
+	div := &Instr{Op: OpDiv, Dst: 0, Args: []Operand{Var(1), Var(2)}}
+	if !div.CanThrowOther() {
+		t.Fatal("div must be able to throw")
+	}
+	if div.WritesMemory() {
+		t.Fatal("div must not write memory")
+	}
+	put := &Instr{Op: OpPutField, Dst: NoVar, Field: &Field{Offset: 8}, Args: []Operand{Var(0), ConstInt(1)}}
+	if !put.WritesMemory() {
+		t.Fatal("putfield must write memory")
+	}
+	sa, ok := put.SlotAccessInfo()
+	if !ok || sa.Base != 0 || !sa.IsWrite || sa.Offset != 8 {
+		t.Fatalf("putfield slot access = %+v ok=%v", sa, ok)
+	}
+	get := &Instr{Op: OpGetField, Dst: 3, Field: &Field{Offset: 16}, Args: []Operand{Var(2)}}
+	sa, ok = get.SlotAccessInfo()
+	if !ok || sa.Base != 2 || sa.IsWrite || sa.Offset != 16 {
+		t.Fatalf("getfield slot access = %+v ok=%v", sa, ok)
+	}
+	cv := &Instr{Op: OpCallVirtual, Dst: NoVar, Callee: &Method{Name: "m"}, Args: []Operand{Var(4)}}
+	sa, ok = cv.SlotAccessInfo()
+	if !ok || sa.Base != 4 || sa.Offset != 0 {
+		t.Fatalf("callvirt slot access = %+v ok=%v", sa, ok)
+	}
+	al := &Instr{Op: OpArrayLoad, Dst: 0, Args: []Operand{Var(5), Var(6)}}
+	sa, ok = al.SlotAccessInfo()
+	if !ok || !sa.Dynamic {
+		t.Fatalf("arrayload slot access = %+v ok=%v", sa, ok)
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	pairs := map[Cond]Cond{
+		CondEQ: CondNE, CondLT: CondGE, CondLE: CondGT,
+	}
+	for c, n := range pairs {
+		if c.Negate() != n {
+			t.Fatalf("%s negate = %s, want %s", c, c.Negate(), n)
+		}
+		if n.Negate() != c {
+			t.Fatalf("%s negate = %s, want %s", n, n.Negate(), c)
+		}
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	_, c := point(t)
+	b := NewFunc("get", true)
+	this := b.Param("this", KindRef)
+	b.Result(KindInt)
+	b.Block("entry")
+	x := b.Temp(KindInt)
+	b.GetField(x, this, c.FieldByName("x"))
+	b.Return(Var(x))
+	f := b.Finish()
+
+	s := f.String()
+	for _, want := range []string{"method get(v0 ref) int", "nullcheck v0", "getfield v0.x", "return v1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printer output missing %q:\n%s", want, s)
+		}
+	}
+	if this != 0 {
+		t.Fatalf("this = v%d, want v0", this)
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p, c := point(t)
+	fn := &Func{Name: "getX"}
+	m := p.AddMethod(c, "getX", fn, true)
+	if p.MethodByName("Point.getX") != m {
+		t.Fatal("MethodByName failed")
+	}
+	if p.ClassByName("Point") != c {
+		t.Fatal("ClassByName failed")
+	}
+	if p.ClassByID(c.ID) != c {
+		t.Fatal("ClassByID failed")
+	}
+	if c.MethodByName("getX") != m {
+		t.Fatal("Class.MethodByName failed")
+	}
+	if fn.Method != m {
+		t.Fatal("AddMethod did not link Func.Method")
+	}
+}
+
+func TestCountOpAndNumInstrs(t *testing.T) {
+	f := diamondWithSharedExit()
+	if got := f.CountOp(OpIf); got != 1 {
+		t.Fatalf("CountOp(If) = %d, want 1", got)
+	}
+	if got := f.NumInstrs(); got != 3 {
+		t.Fatalf("NumInstrs = %d, want 3", got)
+	}
+}

@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable assembly-like text; the examples
+// and the nulljit CLI print it before and after optimization.
+func (f *Func) String() string {
+	var sb strings.Builder
+	kind := "func"
+	if f.IsInstance {
+		kind = "method"
+	}
+	fmt.Fprintf(&sb, "%s %s(", kind, f.Name)
+	for i := 0; i < f.NumParams; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "v%d %s", i, f.Locals[i].Kind)
+	}
+	sb.WriteString(")")
+	if f.HasResult {
+		fmt.Fprintf(&sb, " %s", f.ResultKind)
+	}
+	sb.WriteString(" {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b)
+		if b.Try != NoTry {
+			fmt.Fprintf(&sb, "  [try %d]", b.Try)
+		}
+		sb.WriteString("\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "    %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.HasDst() {
+		fmt.Fprintf(&sb, "v%d = ", in.Dst)
+	}
+	switch in.Op {
+	case OpNullCheck:
+		if in.Explicit {
+			sb.WriteString("explicit_")
+		}
+		fmt.Fprintf(&sb, "nullcheck %s", in.Args[0])
+		fmt.Fprintf(&sb, " <%s>", in.Reason)
+	case OpGetField:
+		fmt.Fprintf(&sb, "getfield %s.%s", in.Args[0], in.Field.Name)
+	case OpPutField:
+		fmt.Fprintf(&sb, "putfield %s.%s = %s", in.Args[0], in.Field.Name, in.Args[1])
+	case OpNew:
+		fmt.Fprintf(&sb, "new %s", in.Class.Name)
+	case OpNewArray:
+		fmt.Fprintf(&sb, "newarray [%s]", in.Args[0])
+	case OpArrayLoad:
+		fmt.Fprintf(&sb, "aload %s[%s]", in.Args[0], in.Args[1])
+	case OpArrayStore:
+		fmt.Fprintf(&sb, "astore %s[%s] = %s", in.Args[0], in.Args[1], in.Args[2])
+	case OpCallStatic, OpCallVirtual:
+		fmt.Fprintf(&sb, "%s %s(", in.Op, in.Callee.QualifiedName())
+		for i, a := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteString(")")
+	case OpIf:
+		fmt.Fprintf(&sb, "if %s %s %s goto %s else %s",
+			in.Args[0], in.Cond, in.Args[1], in.Targets[0], in.Targets[1])
+	case OpJump:
+		fmt.Fprintf(&sb, "jump %s", in.Targets[0])
+	case OpCmp:
+		fmt.Fprintf(&sb, "cmp %s %s %s", in.Args[0], in.Cond, in.Args[1])
+	case OpMath:
+		fmt.Fprintf(&sb, "math.%s(%s)", in.Fn, in.Args[0])
+	case OpInstanceOf:
+		fmt.Fprintf(&sb, "instanceof %s, %s", in.Args[0], in.Class.Name)
+	default:
+		sb.WriteString(in.Op.String())
+		for i, a := range in.Args {
+			if i == 0 {
+				sb.WriteString(" ")
+			} else {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	}
+	var marks []string
+	if in.ExcSite {
+		marks = append(marks, fmt.Sprintf("excsite(v%d)", in.ExcVar))
+	}
+	if in.Speculated {
+		marks = append(marks, "speculated")
+	}
+	if len(marks) > 0 {
+		fmt.Fprintf(&sb, "  // %s", strings.Join(marks, ", "))
+	}
+	return sb.String()
+}

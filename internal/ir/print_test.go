@@ -1,0 +1,177 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPrintEveryInstructionForm builds one function touching every opcode
+// and checks the printer yields something for each line.
+func TestPrintEveryInstructionForm(t *testing.T) {
+	p := NewProgram("print")
+	cls := p.NewClass("P", &Field{Name: "f", Kind: KindInt})
+	cb := NewFunc("callee", true)
+	cb.Param("this", KindRef)
+	cb.Block("entry")
+	cb.ReturnVoid()
+	meth := p.AddMethod(cls, "m", cb.Finish(), true)
+
+	b := NewFunc("omni", false)
+	a := b.Param("a", KindRef)
+	n := b.Param("n", KindInt)
+	x := b.Param("x", KindFloat)
+	b.Result(KindInt)
+	entry := b.Block("entry")
+	tgt := b.DeclareBlock("tgt")
+	done := b.DeclareBlock("done")
+	handler := b.DeclareBlock("handler")
+	exc := b.Local("exc", KindRef)
+
+	i := b.Temp(KindInt)
+	fv := b.Temp(KindFloat)
+	r := b.Temp(KindRef)
+	arr := b.Temp(KindRef)
+	b.Move(i, ConstInt(3))
+	b.Binop(OpMul, i, Var(i), Var(n))
+	b.Binop(OpShr, i, Var(i), ConstInt(1))
+	b.Unop(OpNot, i, Var(i))
+	b.Binop(OpFDiv, fv, Var(x), ConstFloat(2.5))
+	b.Unop(OpFloatToInt, i, Var(fv))
+	b.Cmp(i, CondGE, Var(i), ConstInt(0))
+	b.Math(MathCos, fv, Var(x))
+	b.New(r, cls)
+	b.NewArray(arr, Var(n))
+	b.GetField(i, a, cls.FieldByName("f"))
+	b.PutField(a, cls.FieldByName("f"), Var(i))
+	b.ArrayLength(i, arr)
+	b.ArrayLoad(i, arr, ConstInt(0))
+	b.ArrayStore(arr, ConstInt(0), Var(i))
+	b.CallVirtual(NoVar, meth, a)
+	b.If(CondNE, Var(i), Null(), tgt, done)
+	b.SetBlock(tgt)
+	b.Jump(done)
+	b.SetBlock(done)
+	b.Return(Var(i))
+	b.SetBlock(handler)
+	b.Throw(exc)
+	f := b.F
+	region := f.NewRegion(handler, exc)
+	entry.Try = region.ID
+	f.RecomputeEdges()
+	if err := Validate(f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mark one instruction to exercise the annotation path.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == OpGetField {
+				in.ExcSite = true
+				in.ExcVar = a
+			}
+			if in.Op == OpArrayLength {
+				in.Speculated = true
+			}
+		}
+	}
+
+	s := f.String()
+	for _, want := range []string{
+		"move", "mul", "shr", "not", "fdiv", "f2i", "cmp", "math.cos",
+		"new P", "newarray", "getfield", "putfield", "arraylength",
+		"aload", "astore", "callvirt", "if", "jump", "return", "throw",
+		"excsite", "speculated", "[try 0]", "nullcheck",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printed function missing %q:\n%s", want, s)
+		}
+	}
+	// Every instruction String() is non-empty.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.String() == "" {
+				t.Fatalf("empty render for %s", in.Op)
+			}
+		}
+	}
+}
+
+func TestOperandStrings(t *testing.T) {
+	cases := map[string]Operand{
+		"v3":   Var(3),
+		"-7":   ConstInt(-7),
+		"2.5":  ConstFloat(2.5),
+		"null": Null(),
+	}
+	for want, o := range cases {
+		if got := o.String(); got != want {
+			t.Fatalf("operand %v prints %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestKindAndEnumStrings(t *testing.T) {
+	if KindInt.String() != "int" || KindFloat.String() != "float" || KindRef.String() != "ref" {
+		t.Fatal("kind strings wrong")
+	}
+	for c := CondEQ; c <= CondGE; c++ {
+		if c.String() == "?" {
+			t.Fatalf("cond %d has no string", c)
+		}
+	}
+	for m := MathExp; m <= MathPow; m++ {
+		if m.String() == "none" {
+			t.Fatalf("mathfn %d has no string", m)
+		}
+	}
+	for r := ReasonField; r <= ReasonMoved; r++ {
+		if r.String() == "?" {
+			t.Fatalf("reason %d has no string", r)
+		}
+	}
+}
+
+// TestQuickCondNegateInvolution: Negate is an involution and flips outcomes.
+func TestQuickCondNegateInvolution(t *testing.T) {
+	eval := func(c Cond, a, b int64) bool {
+		switch c {
+		case CondEQ:
+			return a == b
+		case CondNE:
+			return a != b
+		case CondLT:
+			return a < b
+		case CondLE:
+			return a <= b
+		case CondGT:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	f := func(ci uint8, a, b int64) bool {
+		c := Cond(ci % 6)
+		if c.Negate().Negate() != c {
+			return false
+		}
+		return eval(c, a, b) == !eval(c.Negate(), a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneIndependence: mutating a clone never affects the original.
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(dst uint8, k uint8) bool {
+		in := &Instr{Op: OpAdd, Dst: VarID(dst % 8), Args: []Operand{Var(0), ConstInt(int64(k))}}
+		cp := in.Clone()
+		cp.Args[1] = ConstInt(int64(k) + 1)
+		cp.Dst = VarID(dst%8) + 1
+		return in.Args[1].Int == int64(k) && in.Dst == VarID(dst%8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural invariants of a function: every block ends in
+// exactly one terminator, all operands reference declared locals, branch
+// targets belong to the function, arg counts match opcodes, and try-region
+// indices are in range. The optimizer validates after every pass in tests.
+func Validate(f *Func) error {
+	if f.Entry == nil {
+		return fmt.Errorf("no entry block")
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	if !inFunc[f.Entry] {
+		return fmt.Errorf("entry block not in function")
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s: empty block", b)
+		}
+		for i, in := range b.Instrs {
+			last := i == len(b.Instrs)-1
+			if in.IsTerminator() != last {
+				if last {
+					return fmt.Errorf("%s: does not end in a terminator (%s)", b, in.Op)
+				}
+				return fmt.Errorf("%s: terminator %s at position %d is not last", b, in.Op, i)
+			}
+			if err := validateInstr(f, b, in); err != nil {
+				return err
+			}
+			for _, t := range in.Targets {
+				if !inFunc[t] {
+					return fmt.Errorf("%s: branch target %s not in function", b, t)
+				}
+			}
+		}
+		if b.Try != NoTry && (b.Try < 0 || b.Try >= len(f.Regions)) {
+			return fmt.Errorf("%s: try region %d out of range", b, b.Try)
+		}
+	}
+	for _, r := range f.Regions {
+		if !inFunc[r.Handler] {
+			return fmt.Errorf("region %d: handler not in function", r.ID)
+		}
+	}
+	return nil
+}
+
+func validateInstr(f *Func, b *Block, in *Instr) error {
+	checkVar := func(v VarID) error {
+		if v < 0 || int(v) >= len(f.Locals) {
+			return fmt.Errorf("%s: %s references undefined v%d", b, in.Op, v)
+		}
+		return nil
+	}
+	if in.HasDst() {
+		if err := checkVar(in.Dst); err != nil {
+			return err
+		}
+	}
+	for _, a := range in.Args {
+		if a.Kind == OperInvalid {
+			return fmt.Errorf("%s: %s has an uninitialized operand", b, in.Op)
+		}
+		if a.IsVar() {
+			if err := checkVar(a.Var); err != nil {
+				return err
+			}
+		}
+	}
+	want, ok := arity[in.Op]
+	if ok && want >= 0 && len(in.Args) != want {
+		return fmt.Errorf("%s: %s has %d args, want %d", b, in.Op, len(in.Args), want)
+	}
+	switch in.Op {
+	case OpNullCheck:
+		if len(in.Args) != 1 || !in.Args[0].IsVar() {
+			return fmt.Errorf("%s: nullcheck needs a variable operand", b)
+		}
+	case OpGetField, OpPutField:
+		if in.Field == nil {
+			return fmt.Errorf("%s: %s without field", b, in.Op)
+		}
+	case OpNew, OpInstanceOf:
+		if in.Class == nil {
+			return fmt.Errorf("%s: %s without class", b, in.Op)
+		}
+	case OpCallStatic, OpCallVirtual:
+		if in.Callee == nil {
+			return fmt.Errorf("%s: call without callee", b)
+		}
+		if in.Op == OpCallVirtual && (len(in.Args) == 0 || !in.Args[0].IsVar()) {
+			return fmt.Errorf("%s: callvirt needs a variable receiver", b)
+		}
+	case OpJump:
+		if len(in.Targets) != 1 {
+			return fmt.Errorf("%s: jump with %d targets", b, len(in.Targets))
+		}
+	case OpIf:
+		if len(in.Targets) != 2 {
+			return fmt.Errorf("%s: if with %d targets", b, len(in.Targets))
+		}
+	case OpReturn:
+		if f.HasResult && len(in.Args) != 1 {
+			return fmt.Errorf("%s: return without value in value-returning function", b)
+		}
+		if !f.HasResult && len(in.Args) != 0 {
+			return fmt.Errorf("%s: return with value in void function", b)
+		}
+	}
+	return nil
+}
+
+// arity maps opcodes to their required operand count; -1 means variable.
+var arity = map[Op]int{
+	OpMove: 1, OpAdd: 2, OpSub: 2, OpMul: 2, OpDiv: 2, OpRem: 2,
+	OpAnd: 2, OpOr: 2, OpXor: 2, OpShl: 2, OpShr: 2,
+	OpNeg: 1, OpNot: 1,
+	OpFAdd: 2, OpFSub: 2, OpFMul: 2, OpFDiv: 2, OpFNeg: 1,
+	OpIntToFloat: 1, OpFloatToInt: 1, OpCmp: 2, OpMath: -1, OpInstanceOf: 1,
+	OpNullCheck: 1, OpNew: 0, OpNewArray: 1,
+	OpGetField: 1, OpPutField: 2, OpArrayLength: 1,
+	OpBoundCheck: 2, OpArrayLoad: 2, OpArrayStore: 3,
+	OpCallStatic: -1, OpCallVirtual: -1,
+	OpJump: 0, OpIf: 2, OpReturn: -1, OpThrow: 1,
+}

@@ -1,0 +1,395 @@
+// Package jasm parses a small textual assembly for the trapnull IR, so
+// programs can be written, inspected and replayed without building them in
+// Go. The nulljit CLI accepts -file program.jasm, and the format is the
+// natural exchange format for bug reports against the optimizer.
+//
+// Format by example:
+//
+//	# comment
+//	class Point {
+//	    int x
+//	    int y
+//	    int far @ 65536        # explicit byte offset (a big-offset field)
+//	}
+//
+//	extern Math.exp exp        # intrinsic method (call barrier off-IA32)
+//
+//	virtual method Point.getX(this ref) int {
+//	entry:
+//	    var t int
+//	    nullcheck this
+//	    t = getfield this, Point.x
+//	    return t
+//	}
+//
+//	func main(n int) int {
+//	region R0 handler Lcatch exc e
+//	entry:
+//	    var p ref
+//	    var s int
+//	    var e ref
+//	    p = new Point
+//	    putfield p, Point.x, 41
+//	    s = callv Point.getX(p)
+//	    jump Ldone
+//	Ltry (try R0):
+//	    s = div s, 0
+//	    jump Ldone
+//	Lcatch:
+//	    s = move -1
+//	    jump Ldone
+//	Ldone:
+//	    return s
+//	}
+//
+// Rules: blocks are labels ending in ':'; the first block is the entry; every
+// block must end in jump/if/return/throw; `var` lines may appear anywhere
+// inside a function body and declare function-scoped locals; operands are
+// variable names, integer or float literals, or `null` (and `dst = <operand>`
+// is shorthand for a move).
+//
+// The dereferencing forms getfield/putfield/aload/astore/arraylength/callv
+// emit the paper's split sequences (automatic nullcheck, and for element
+// accesses arraylength + boundcheck); their `!`-suffixed raw forms emit just
+// the instruction, and accept `@excsite v` / `@spec` annotations — that is
+// the dialect optimized code round-trips through (see Format). An
+// `instanceof` result branched against 0 carries the §4.1.2 Edge fact.
+package jasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trapnull/internal/ir"
+)
+
+// Parse builds a program from jasm source. The returned map indexes the
+// parsed functions by name (methods by qualified name).
+func Parse(src string) (*ir.Program, map[string]*ir.Func, error) {
+	p := &parser{
+		prog:  ir.NewProgram("jasm"),
+		funcs: map[string]*ir.Func{},
+	}
+	if err := p.run(src); err != nil {
+		return nil, nil, err
+	}
+	return p.prog, p.funcs, nil
+}
+
+type parser struct {
+	prog  *ir.Program
+	funcs map[string]*ir.Func
+	lines []string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("jasm: line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+// next returns the next meaningful line (comments stripped) or false at EOF.
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) run(src string) error {
+	p.lines = strings.Split(src, "\n")
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(line, "class "):
+			if err := p.parseClass(line); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "extern "):
+			if err := p.parseExtern(line); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "func ") || strings.HasPrefix(line, "method ") ||
+			strings.HasPrefix(line, "virtual method "):
+			if err := p.parseFunc(line); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected top-level line %q", line)
+		}
+	}
+}
+
+func (p *parser) parseClass(line string) error {
+	// class Name {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "class "))
+	name := strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+	if name == "" || !strings.HasSuffix(rest, "{") {
+		return p.errf("malformed class header %q", line)
+	}
+	var fields []*ir.Field
+	for {
+		l, ok := p.next()
+		if !ok {
+			return p.errf("unterminated class %s", name)
+		}
+		if l == "}" {
+			break
+		}
+		// "<kind> <name> [@ offset]"
+		parts := strings.Fields(l)
+		if len(parts) != 2 && !(len(parts) == 4 && parts[2] == "@") {
+			return p.errf("malformed field %q", l)
+		}
+		k, err := parseKind(parts[0])
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		f := &ir.Field{Name: parts[1], Kind: k}
+		if len(parts) == 4 {
+			off, err := strconv.ParseInt(parts[3], 0, 32)
+			if err != nil {
+				return p.errf("bad offset %q", parts[3])
+			}
+			f.Offset = int32(off)
+		}
+		fields = append(fields, f)
+	}
+	p.prog.NewClass(name, fields...)
+	return nil
+}
+
+func (p *parser) parseExtern(line string) error {
+	// extern Math.exp exp
+	parts := strings.Fields(line)
+	if len(parts) != 3 {
+		return p.errf("malformed extern %q", line)
+	}
+	m := p.prog.AddMethod(nil, parts[1], nil, false)
+	switch parts[2] {
+	case "exp":
+		m.Intrinsic = ir.MathExp
+	case "log":
+		m.Intrinsic = ir.MathLog
+	case "sin":
+		m.Intrinsic = ir.MathSin
+	case "cos":
+		m.Intrinsic = ir.MathCos
+	case "sqrt":
+		m.Intrinsic = ir.MathSqrt
+	case "abs":
+		m.Intrinsic = ir.MathAbs
+	default:
+		return p.errf("unknown intrinsic %q", parts[2])
+	}
+	return nil
+}
+
+func parseKind(s string) (ir.Kind, error) {
+	switch s {
+	case "int":
+		return ir.KindInt, nil
+	case "float":
+		return ir.KindFloat, nil
+	case "ref":
+		return ir.KindRef, nil
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+// funcParser carries the per-function state.
+type funcParser struct {
+	*parser
+	b      *ir.Builder
+	vars   map[string]ir.VarID
+	blocks map[string]*ir.Block
+	// pendingRegions maps region name -> (handler label, exc var name).
+	regions     map[string]*regionDecl
+	regionIndex map[string]int
+	started     bool
+}
+
+type regionDecl struct {
+	handlerLabel string
+	excVar       string
+}
+
+func (p *parser) parseFunc(header string) error {
+	virtual := strings.HasPrefix(header, "virtual ")
+	header = strings.TrimPrefix(header, "virtual ")
+	isMethod := strings.HasPrefix(header, "method ")
+	header = strings.TrimPrefix(header, "method ")
+	header = strings.TrimPrefix(header, "func ")
+	header = strings.TrimSpace(strings.TrimSuffix(header, "{"))
+
+	open := strings.Index(header, "(")
+	closeP := strings.LastIndex(header, ")")
+	if open < 0 || closeP < open {
+		return p.errf("malformed function header %q", header)
+	}
+	name := strings.TrimSpace(header[:open])
+	paramsSrc := header[open+1 : closeP]
+	resultSrc := strings.TrimSpace(header[closeP+1:])
+
+	var cls *ir.Class
+	fnName := name
+	if isMethod {
+		dot := strings.Index(name, ".")
+		if dot < 0 {
+			return p.errf("method name %q needs Class.name", name)
+		}
+		cls = p.prog.ClassByName(name[:dot])
+		if cls == nil {
+			return p.errf("unknown class %q", name[:dot])
+		}
+		fnName = name[dot+1:]
+	}
+
+	fp := &funcParser{
+		parser:      p,
+		b:           ir.NewFunc(fnName, isMethod),
+		vars:        map[string]ir.VarID{},
+		blocks:      map[string]*ir.Block{},
+		regions:     map[string]*regionDecl{},
+		regionIndex: map[string]int{},
+	}
+
+	// Parameters: "a int, b ref".
+	if strings.TrimSpace(paramsSrc) != "" {
+		for _, ps := range strings.Split(paramsSrc, ",") {
+			parts := strings.Fields(strings.TrimSpace(ps))
+			if len(parts) != 2 {
+				return p.errf("malformed parameter %q", ps)
+			}
+			k, err := parseKind(parts[1])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			fp.vars[parts[0]] = fp.b.Param(parts[0], k)
+		}
+	}
+	if resultSrc != "" {
+		k, err := parseKind(resultSrc)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		fp.b.Result(k)
+	}
+
+	// Register the method before parsing the body so recursive calls
+	// resolve; the function pointer is attached afterwards.
+	m := p.prog.AddMethod(cls, fnName, nil, virtual)
+
+	if err := fp.body(); err != nil {
+		return err
+	}
+
+	fn := fp.b.F
+	fn.RecomputeEdges()
+	if err := ir.Validate(fn); err != nil {
+		return p.errf("invalid function %s: %v", name, err)
+	}
+	m.Fn = fn
+	fn.Method = m
+	p.funcs[name] = fn
+	return nil
+}
+
+// block returns (creating on demand) the named block.
+func (fp *funcParser) block(label string) *ir.Block {
+	if blk, ok := fp.blocks[label]; ok {
+		return blk
+	}
+	blk := fp.b.F.NewBlock(label)
+	fp.blocks[label] = blk
+	return blk
+}
+
+func (fp *funcParser) body() error {
+	for {
+		line, ok := fp.next()
+		if !ok {
+			return fp.errf("unterminated function")
+		}
+		if line == "}" {
+			// Resolve regions.
+			for name, decl := range fp.regions {
+				h, ok := fp.blocks[decl.handlerLabel]
+				if !ok {
+					return fp.errf("region %s: unknown handler label %q", name, decl.handlerLabel)
+				}
+				v, ok := fp.vars[decl.excVar]
+				if !ok {
+					return fp.errf("region %s: unknown exception variable %q", name, decl.excVar)
+				}
+				fp.b.F.Regions[fp.regionIndex[name]].Handler = h
+				fp.b.F.Regions[fp.regionIndex[name]].ExcVar = v
+			}
+			return nil
+		}
+		if strings.HasPrefix(line, "region ") {
+			// region R0 handler Lcatch exc e
+			parts := strings.Fields(line)
+			if len(parts) != 6 || parts[2] != "handler" || parts[4] != "exc" {
+				return fp.errf("malformed region %q", line)
+			}
+			r := fp.b.F.NewRegion(nil, ir.NoVar)
+			fp.regions[parts[1]] = &regionDecl{handlerLabel: parts[3], excVar: parts[5]}
+			fp.regionIndex[parts[1]] = r.ID
+			continue
+		}
+		if strings.HasSuffix(line, ":") || strings.Contains(line, "):") ||
+			(strings.Contains(line, "(try ") && strings.HasSuffix(line, ":")) {
+			// "label:" or "label (try R0):"
+			lbl := strings.TrimSuffix(line, ":")
+			try := ""
+			if i := strings.Index(lbl, "(try "); i >= 0 {
+				try = strings.TrimSpace(strings.TrimSuffix(lbl[i+5:], ")"))
+				lbl = strings.TrimSpace(lbl[:i])
+			}
+			blk := fp.block(lbl)
+			if try != "" {
+				idx, ok := fp.regionIndex[try]
+				if !ok {
+					return fp.errf("unknown region %q", try)
+				}
+				blk.Try = idx
+			}
+			fp.b.SetBlock(blk)
+			if !fp.started {
+				fp.b.F.Entry = blk
+				fp.started = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "var ") {
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				return fp.errf("malformed var %q", line)
+			}
+			k, err := parseKind(parts[2])
+			if err != nil {
+				return fp.errf("%v", err)
+			}
+			if _, dup := fp.vars[parts[1]]; dup {
+				return fp.errf("duplicate variable %q", parts[1])
+			}
+			fp.vars[parts[1]] = fp.b.Local(parts[1], k)
+			continue
+		}
+		if err := fp.instr(line); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package jasm
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/randprog"
+	"trapnull/internal/workloads"
+)
+
+// outcome runs fn(5) and returns (value, excKind as int, cycles).
+func outcome(t *testing.T, prog *ir.Program, fn *ir.Func, seedInfo string) (int64, int, int64) {
+	t.Helper()
+	m := machine.New(arch.IA32Win(), prog)
+	out, err := m.Call(fn, 5)
+	if err != nil {
+		t.Fatalf("%s: %v", seedInfo, err)
+	}
+	return out.Value, int(out.Exc), m.Cycles
+}
+
+// TestRoundTripRandomPrograms: Format then Parse must reproduce the exact
+// execution — value, exception and cycle count — of random programs, both
+// before and after full optimization.
+func TestRoundTripRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		cfg := randprog.DefaultConfig(seed)
+
+		// Unoptimized round trip.
+		p1, f1 := randprog.Generate(cfg)
+		v1, e1, c1 := outcome(t, p1, f1, "orig")
+		text := Format(p1)
+		p2, funcs, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, text)
+		}
+		f2 := funcs["main"]
+		v2, e2, c2 := outcome(t, p2, f2, "reparsed")
+		if v1 != v2 || e1 != e2 || c1 != c2 {
+			t.Fatalf("seed %d: round trip diverged: (%d,%d,%d) vs (%d,%d,%d)\n%s",
+				seed, v1, e1, c1, v2, e2, c2, text)
+		}
+
+		// Optimized round trip: the formatted text must carry the marks.
+		p3, f3 := randprog.Generate(cfg)
+		if _, err := jit.CompileProgram(p3, jit.ConfigPhase1Phase2(), arch.IA32Win()); err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		v3, e3, c3 := outcome(t, p3, f3, "optimized")
+		text3 := Format(p3)
+		p4, funcs4, err := Parse(text3)
+		if err != nil {
+			t.Fatalf("seed %d: reparse optimized: %v\n%s", seed, err, text3)
+		}
+		v4, e4, c4 := outcome(t, p4, funcs4["main"], "reparsed-optimized")
+		if v3 != v4 || e3 != e4 || c3 != c4 {
+			t.Fatalf("seed %d: optimized round trip diverged: (%d,%d,%d) vs (%d,%d,%d)\n%s",
+				seed, v3, e3, c3, v4, e4, c4, text3)
+		}
+	}
+}
+
+// TestRoundTripWorkloads: the real kernels survive the round trip too
+// (method calls, classes, intrinsics, regions).
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, entryM := w.Build()
+			text := Format(prog)
+			p2, funcs, err := Parse(text)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			fn2 := funcs[entryM.QualifiedName()]
+			if fn2 == nil {
+				t.Fatalf("entry %q missing after round trip", entryM.QualifiedName())
+			}
+			m := machine.New(arch.IA32Win(), p2)
+			out, err := m.Call(fn2, w.TestN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := w.Ref(w.TestN); out.Value != want {
+				t.Fatalf("round-tripped checksum %d, want %d", out.Value, want)
+			}
+		})
+	}
+}
+
+// TestFormatIsStable: after one round trip the representation reaches a
+// fixpoint — parsing renumbers blocks by first reference, so the first
+// Format may relabel, but Format∘Parse must then be the identity.
+func TestFormatIsStable(t *testing.T) {
+	p1, _ := randprog.Generate(randprog.DefaultConfig(42))
+	t1 := Format(p1)
+	p2, _, err := Parse(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := Format(p2)
+	p3, _, err := Parse(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3 := Format(p3)
+	if t2 != t3 {
+		t.Fatalf("format not stable after a round:\n--- second\n%s\n--- third\n%s", t2, t3)
+	}
+}

@@ -1,0 +1,211 @@
+package jasm
+
+import (
+	"fmt"
+	"strings"
+
+	"trapnull/internal/ir"
+)
+
+// Format renders a program as parseable jasm source. Instructions are
+// emitted in their raw forms (getfield!, aload!, ...) so that no implicit
+// check sequences are re-synthesized on parse: the round trip
+// Parse(Format(p)) preserves the instruction stream exactly, including
+// exception-site marks and speculated loads of optimized code.
+//
+// Functions must not reference methods declared after them (the parser
+// resolves callees eagerly); Format emits methods in program order, so
+// programs built that way — as all of this repository's builders do —
+// round-trip cleanly.
+func Format(p *ir.Program) string {
+	var sb strings.Builder
+	for _, c := range p.Classes {
+		fmt.Fprintf(&sb, "class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(&sb, "    %s %s @ %d\n", f.Kind, f.Name, f.Offset)
+		}
+		sb.WriteString("}\n\n")
+	}
+	for _, m := range p.Methods {
+		if m.Fn == nil {
+			if m.Intrinsic != ir.MathNone {
+				fmt.Fprintf(&sb, "extern %s %s\n\n", m.QualifiedName(), m.Intrinsic)
+			}
+			continue
+		}
+		writeFunc(&sb, m)
+	}
+	return sb.String()
+}
+
+func writeFunc(sb *strings.Builder, m *ir.Method) {
+	fn := m.Fn
+	kw := "func"
+	name := m.Name
+	if m.Class != nil {
+		kw = "method"
+		if m.Virtual {
+			kw = "virtual method"
+		}
+		name = m.QualifiedName()
+	}
+	fmt.Fprintf(sb, "%s %s(", kw, name)
+	for i := 0; i < fn.NumParams; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "v%d %s", i, fn.Locals[i].Kind)
+	}
+	sb.WriteString(")")
+	if fn.HasResult {
+		fmt.Fprintf(sb, " %s", fn.ResultKind)
+	}
+	sb.WriteString(" {\n")
+
+	for _, r := range fn.Regions {
+		fmt.Fprintf(sb, "region R%d handler L%d exc v%d\n", r.ID, r.Handler.ID, r.ExcVar)
+	}
+
+	// The entry block must be printed first; the parser takes the first
+	// label as the entry.
+	blocks := append([]*ir.Block{fn.Entry}, nil...)
+	for _, b := range fn.Blocks {
+		if b != fn.Entry {
+			blocks = append(blocks, b)
+		}
+	}
+
+	declared := make(map[ir.VarID]bool, fn.NumLocals())
+	for i := 0; i < fn.NumParams; i++ {
+		declared[ir.VarID(i)] = true
+	}
+	// Declare all locals up front inside the entry block.
+	first := true
+	for _, b := range blocks {
+		if b.Try != ir.NoTry {
+			fmt.Fprintf(sb, "L%d (try R%d):\n", b.ID, b.Try)
+		} else {
+			fmt.Fprintf(sb, "L%d:\n", b.ID)
+		}
+		if first {
+			first = false
+			for i := fn.NumParams; i < fn.NumLocals(); i++ {
+				fmt.Fprintf(sb, "    var v%d %s\n", i, fn.Locals[i].Kind)
+			}
+		}
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "    %s\n", writeInstr(in))
+		}
+	}
+	sb.WriteString("}\n\n")
+}
+
+func wOperand(o ir.Operand) string {
+	switch o.Kind {
+	case ir.OperVar:
+		return fmt.Sprintf("v%d", o.Var)
+	case ir.OperConstInt:
+		return fmt.Sprintf("%d", o.Int)
+	case ir.OperConstFloat:
+		s := fmt.Sprintf("%g", o.Float)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	default:
+		return "null"
+	}
+}
+
+var opNamesW = map[ir.Op]string{
+	ir.OpAdd: "add", ir.OpSub: "sub", ir.OpMul: "mul", ir.OpDiv: "div",
+	ir.OpRem: "rem", ir.OpAnd: "and", ir.OpOr: "or", ir.OpXor: "xor",
+	ir.OpShl: "shl", ir.OpShr: "shr",
+	ir.OpFAdd: "fadd", ir.OpFSub: "fsub", ir.OpFMul: "fmul", ir.OpFDiv: "fdiv",
+	ir.OpNeg: "neg", ir.OpNot: "not", ir.OpFNeg: "fneg",
+	ir.OpIntToFloat: "i2f", ir.OpFloatToInt: "f2i",
+}
+
+var condNamesW = map[ir.Cond]string{
+	ir.CondEQ: "eq", ir.CondNE: "ne", ir.CondLT: "lt",
+	ir.CondLE: "le", ir.CondGT: "gt", ir.CondGE: "ge",
+}
+
+// marks renders the excsite/speculated annotations.
+func marks(in *ir.Instr) string {
+	out := ""
+	if in.ExcSite {
+		out += fmt.Sprintf(" @excsite v%d", in.ExcVar)
+	}
+	if in.Speculated {
+		out += " @spec"
+	}
+	return out
+}
+
+func writeInstr(in *ir.Instr) string {
+	dst := ""
+	if in.HasDst() {
+		dst = fmt.Sprintf("v%d = ", in.Dst)
+	}
+	switch in.Op {
+	case ir.OpMove:
+		return fmt.Sprintf("%smove %s", dst, wOperand(in.Args[0]))
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		return fmt.Sprintf("%s%s %s, %s", dst, opNamesW[in.Op], wOperand(in.Args[0]), wOperand(in.Args[1]))
+	case ir.OpNeg, ir.OpNot, ir.OpFNeg, ir.OpIntToFloat, ir.OpFloatToInt:
+		return fmt.Sprintf("%s%s %s", dst, opNamesW[in.Op], wOperand(in.Args[0]))
+	case ir.OpCmp:
+		return fmt.Sprintf("%scmp %s %s, %s", dst, condNamesW[in.Cond], wOperand(in.Args[0]), wOperand(in.Args[1]))
+	case ir.OpMath:
+		return fmt.Sprintf("%smath %s %s", dst, in.Fn, wOperand(in.Args[0]))
+	case ir.OpNullCheck:
+		return fmt.Sprintf("nullcheck %s", wOperand(in.Args[0]))
+	case ir.OpNew:
+		return fmt.Sprintf("%snew %s", dst, in.Class.Name)
+	case ir.OpInstanceOf:
+		return fmt.Sprintf("%sinstanceof %s, %s", dst, wOperand(in.Args[0]), in.Class.Name)
+	case ir.OpNewArray:
+		return fmt.Sprintf("%snewarray %s", dst, wOperand(in.Args[0]))
+	case ir.OpGetField:
+		return fmt.Sprintf("%sgetfield! %s, %s.%s%s", dst, wOperand(in.Args[0]),
+			in.Field.Class.Name, in.Field.Name, marks(in))
+	case ir.OpPutField:
+		return fmt.Sprintf("putfield! %s, %s.%s, %s%s", wOperand(in.Args[0]),
+			in.Field.Class.Name, in.Field.Name, wOperand(in.Args[1]), marks(in))
+	case ir.OpArrayLength:
+		return fmt.Sprintf("%sarraylength! %s%s", dst, wOperand(in.Args[0]), marks(in))
+	case ir.OpBoundCheck:
+		return fmt.Sprintf("boundcheck %s, %s", wOperand(in.Args[0]), wOperand(in.Args[1]))
+	case ir.OpArrayLoad:
+		return fmt.Sprintf("%saload! %s, %s%s", dst, wOperand(in.Args[0]), wOperand(in.Args[1]), marks(in))
+	case ir.OpArrayStore:
+		return fmt.Sprintf("astore! %s, %s, %s%s", wOperand(in.Args[0]), wOperand(in.Args[1]),
+			wOperand(in.Args[2]), marks(in))
+	case ir.OpCallStatic, ir.OpCallVirtual:
+		kw := "call"
+		if in.Op == ir.OpCallVirtual {
+			kw = "callv!"
+		}
+		var args []string
+		for _, a := range in.Args {
+			args = append(args, wOperand(a))
+		}
+		return fmt.Sprintf("%s%s %s(%s)%s", dst, kw, in.Callee.QualifiedName(),
+			strings.Join(args, ", "), marks(in))
+	case ir.OpJump:
+		return fmt.Sprintf("jump L%d", in.Targets[0].ID)
+	case ir.OpIf:
+		return fmt.Sprintf("if %s %s %s goto L%d else L%d", wOperand(in.Args[0]),
+			condNamesW[in.Cond], wOperand(in.Args[1]), in.Targets[0].ID, in.Targets[1].ID)
+	case ir.OpReturn:
+		if len(in.Args) == 1 {
+			return fmt.Sprintf("return %s", wOperand(in.Args[0]))
+		}
+		return "return"
+	case ir.OpThrow:
+		return fmt.Sprintf("throw %s", wOperand(in.Args[0]))
+	}
+	return fmt.Sprintf("# unprintable %s", in.Op)
+}

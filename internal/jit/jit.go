@@ -1,0 +1,216 @@
+// Package jit assembles the paper's compilation pipelines: which null check
+// algorithm runs, whether hardware traps are exploited, how many times
+// phase 1 iterates with the other optimizations (Figure 2), and — for the
+// AIX experiments — whether reads may be speculated and whether the
+// spec-violating Intel phase 2 is forced ("Illegal Implicit"). It also
+// accounts compile time per phase family, which Tables 3–5 report.
+package jit
+
+import (
+	"fmt"
+	"time"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/nullcheck"
+	"trapnull/internal/opt"
+)
+
+// Algo selects the null check elimination algorithm.
+type Algo uint8
+
+const (
+	// AlgoNone disables null check elimination entirely.
+	AlgoNone Algo = iota
+	// AlgoWhaley is the previous best algorithm (§2.2): forward analysis
+	// elimination only.
+	AlgoWhaley
+	// AlgoNew is the paper's phase 1 (and, when Phase2 is set, phase 2).
+	AlgoNew
+)
+
+// Config describes one JIT configuration — one row of the paper's tables.
+type Config struct {
+	Name string
+
+	// Inline enables devirtualization + method inlining before the null
+	// check optimizations. InlineBudget overrides the default callee size
+	// limit when non-zero (the HotSpot comparator inlines more).
+	Inline       bool
+	InlineBudget int
+
+	Algo Algo
+	// Iterations is how many times the null check algorithm iterates with
+	// the other optimizations (Figure 2's loop); minimum 1.
+	Iterations int
+	// OtherOpts enables bounds check elimination, scalar replacement, copy
+	// propagation and DCE in each iteration.
+	OtherOpts bool
+	// LightScalar restricts scalar replacement to block-local CSE and skips
+	// bounds check elimination — the profile of the simulated HotSpot
+	// comparator (big inliner, heavy pipeline, no iterated loop machinery).
+	LightScalar bool
+
+	// TrapFold folds a check into an immediately following trapping
+	// dereference — the pre-paper implicit check lowering used by the
+	// baselines (§2.1). Ignored when Phase2 runs.
+	TrapFold bool
+	// TrapConvert lowers checks through the trap with the full §4.2.2
+	// substitutable analysis but without forward motion; the Phase1Only
+	// configuration uses it (the paper's phase-1-only row still utilizes
+	// hardware traps). Ignored when Phase2 runs.
+	TrapConvert bool
+	// Phase2 runs the architecture-dependent optimization (§4.2).
+	Phase2 bool
+	// Phase2Model overrides the trap model phase 2 (and TrapFold) assume;
+	// nil means the execution model. The AIX "Illegal Implicit"
+	// configuration sets this to the Intel model.
+	Phase2Model *arch.Model
+
+	// Speculation allows scalar replacement to hoist reads above null
+	// checks when the execution model's reads cannot trap (§3.3.1).
+	Speculation bool
+
+	// SkipGuardCheck disables the post-compile safety verification; only
+	// the deliberately illegal configuration sets it.
+	SkipGuardCheck bool
+}
+
+// Times is the per-phase-family compile time split of Table 4.
+type Times struct {
+	NullCheckOpt time.Duration
+	Other        time.Duration
+}
+
+// Total returns the whole compile time.
+func (t Times) Total() time.Duration { return t.NullCheckOpt + t.Other }
+
+// Add accumulates o into t.
+func (t *Times) Add(o Times) {
+	t.NullCheckOpt += o.NullCheckOpt
+	t.Other += o.Other
+}
+
+// Result is the outcome of compiling one program under one configuration.
+type Result struct {
+	Config Config
+	Times  Times
+	Checks nullcheck.Stats
+	Inline opt.InlineStats
+	Scalar opt.ScalarStats
+	// BoundChecksRemoved counts statically removed bounds checks.
+	BoundChecksRemoved int
+	// FuncsCompiled counts optimized method bodies.
+	FuncsCompiled int
+}
+
+// CompileProgram optimizes every method body of prog (in place) under cfg
+// for execution on execModel. Workload constructors build a fresh program
+// per compilation, so in-place rewriting is safe.
+func CompileProgram(prog *ir.Program, cfg Config, execModel *arch.Model) (*Result, error) {
+	res := &Result{Config: cfg}
+	for _, m := range prog.Methods {
+		if m.Fn == nil {
+			continue
+		}
+		if err := compileFunc(m.Fn, cfg, execModel, res); err != nil {
+			return nil, fmt.Errorf("%s: %w", m.QualifiedName(), err)
+		}
+		res.FuncsCompiled++
+	}
+	// Recompute the surviving static check count from the final bodies (the
+	// per-pass values accumulated by Add double-count across iterations).
+	res.Checks.ExplicitRemaining = 0
+	for _, m := range prog.Methods {
+		if m.Fn != nil {
+			res.Checks.ExplicitRemaining += m.Fn.CountOp(ir.OpNullCheck)
+		}
+	}
+	return res, nil
+}
+
+func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result) error {
+	trapModel := cfg.Phase2Model
+	if trapModel == nil {
+		trapModel = execModel
+	}
+	// Scalar replacement consults SpeculativeReads; the configuration
+	// decides whether that capability is used at all.
+	scalarModel := *execModel
+	scalarModel.SpeculativeReads = execModel.SpeculativeReads && cfg.Speculation
+
+	if cfg.Inline {
+		budget := cfg.InlineBudget
+		if budget == 0 {
+			budget = opt.InlineBudget
+		}
+		start := time.Now()
+		res.Inline.Add(opt.InlineWithBudget(f, execModel, budget))
+		res.Times.Other += time.Since(start)
+	}
+	if cfg.OtherOpts {
+		// Rotate top-tested loops into the guarded do-while shape before
+		// any PRE runs: anticipability needs bodies on every path.
+		start := time.Now()
+		opt.RotateLoops(f)
+		res.Times.Other += time.Since(start)
+	}
+
+	iters := cfg.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	for i := 0; i < iters; i++ {
+		switch cfg.Algo {
+		case AlgoWhaley:
+			start := time.Now()
+			res.Checks.Add(nullcheck.Whaley(f))
+			res.Times.NullCheckOpt += time.Since(start)
+		case AlgoNew:
+			start := time.Now()
+			res.Checks.Add(nullcheck.Phase1(f))
+			res.Times.NullCheckOpt += time.Since(start)
+		}
+		if cfg.OtherOpts {
+			start := time.Now()
+			opt.CopyProp(f)
+			opt.ConstFold(f)
+			if cfg.LightScalar {
+				res.Scalar.Add(opt.ScalarStats{CSE: opt.CSE(f)})
+			} else {
+				res.BoundChecksRemoved += opt.BoundCheckElim(f)
+				res.Scalar.Add(opt.ScalarReplace(f, &scalarModel))
+			}
+			opt.DCE(f)
+			res.Times.Other += time.Since(start)
+		}
+	}
+
+	start := time.Now()
+	switch {
+	case cfg.Phase2:
+		res.Checks.Add(nullcheck.Phase2(f, trapModel))
+	case cfg.TrapConvert:
+		res.Checks.Implicit += nullcheck.ConvertToTraps(f, trapModel)
+	case cfg.TrapFold:
+		res.Checks.Implicit += nullcheck.FoldAdjacentTraps(f, trapModel)
+	}
+	res.Times.NullCheckOpt += time.Since(start)
+
+	start = time.Now()
+	opt.CopyProp(f)
+	opt.ConstFold(f)
+	opt.DCE(f)
+	opt.SimplifyCFG(f)
+	res.Times.Other += time.Since(start)
+
+	if err := ir.Validate(f); err != nil {
+		return fmt.Errorf("invalid after optimization: %w", err)
+	}
+	if !cfg.SkipGuardCheck {
+		if err := nullcheck.CheckGuards(f, execModel); err != nil {
+			return err
+		}
+	}
+	return nil
+}

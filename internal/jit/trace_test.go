@@ -1,0 +1,75 @@
+package jit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+)
+
+func TestObservedPipelineVisitsEveryPass(t *testing.T) {
+	_, fn := sample()
+	var passes []string
+	err := CompileFuncObserved(fn, ConfigPhase1Phase2(), arch.IA32Win(),
+		func(pass string, f *ir.Func) error {
+			passes = append(passes, pass)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(passes, " ")
+	for _, want := range []string{"inline", "rotate", "phase1#0", "copyprop#0",
+		"constfold#0", "boundelim#0", "scalar#0", "dce#0", "phase2", "cleanup"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("pass %q not observed in %q", want, joined)
+		}
+	}
+}
+
+func TestObservedPipelineMatchesCompileProgram(t *testing.T) {
+	// The observed pipeline must produce the identical function as the
+	// production one.
+	for _, cfg := range WindowsConfigs() {
+		p1, f1 := sample()
+		if _, err := CompileProgram(p1, cfg, arch.IA32Win()); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		p2, f2 := sample()
+		// CompileProgram compiles the accessor method too; do the same.
+		for _, m := range p2.Methods {
+			if m.Fn != nil && m.Fn != f2 {
+				if err := CompileFuncObserved(m.Fn, cfg, arch.IA32Win(), nil); err != nil {
+					t.Fatalf("%s: callee: %v", cfg.Name, err)
+				}
+			}
+		}
+		if err := CompileFuncObserved(f2, cfg, arch.IA32Win(), nil); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if f1.String() != f2.String() {
+			t.Fatalf("%s: observed pipeline diverges from CompileProgram:\n%s\n---\n%s",
+				cfg.Name, f1, f2)
+		}
+	}
+}
+
+func TestObserverErrorStopsPipeline(t *testing.T) {
+	_, fn := sample()
+	boom := errors.New("stop here")
+	err := CompileFuncObserved(fn, ConfigPhase1Phase2(), arch.IA32Win(),
+		func(pass string, f *ir.Func) error {
+			if strings.HasPrefix(pass, "phase1") {
+				return boom
+			}
+			return nil
+		})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped observer error", err)
+	}
+	if !strings.Contains(err.Error(), "phase1") {
+		t.Fatalf("error %q does not name the pass", err)
+	}
+}

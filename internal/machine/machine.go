@@ -1,0 +1,496 @@
+// Package machine executes compiled IR on a simulated CPU: it applies the
+// architecture model's cycle costs to every instruction, detects hardware
+// traps when an access touches the protected page, and converts traps into
+// precise NullPointerExceptions at marked exception sites — the role the OS
+// signal handler plays in the paper's JIT.
+//
+// The machine is deliberately strict: a trap at an instruction that phase 2
+// did not mark as an exception site is a simulation error (a real VM would
+// crash), so optimizer bugs surface as errors rather than wrong numbers.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/rt"
+)
+
+// ExecStats counts dynamic events during execution.
+type ExecStats struct {
+	Instrs         int64 // instructions executed
+	ExplicitChecks int64 // explicit null check instructions executed
+	ImplicitSites  int64 // dereferences executed at implicit-check sites
+	BoundChecks    int64
+	Loads          int64
+	Stores         int64
+	Calls          int64
+	TrapsTaken     int64 // hardware traps that became NPEs
+	ThrownSoftware int64 // exceptions raised by explicit checks and checks
+}
+
+// Machine executes functions against one heap and one architecture model.
+type Machine struct {
+	Arch  *arch.Model
+	Heap  *rt.Heap
+	Prog  *ir.Program
+	Stats ExecStats
+	// Cycles accumulates the simulated execution time.
+	Cycles int64
+	// MaxSteps bounds total executed instructions (runaway guard).
+	MaxSteps int64
+
+	steps int64
+}
+
+// New returns a machine for the given model and program.
+func New(m *arch.Model, prog *ir.Program) *Machine {
+	return &Machine{
+		Arch:     m,
+		Heap:     rt.NewHeap(1 << 16),
+		Prog:     prog,
+		MaxSteps: 2_000_000_000,
+	}
+}
+
+// ErrStepLimit reports that execution exceeded MaxSteps.
+var ErrStepLimit = errors.New("machine: step limit exceeded")
+
+// Outcome is the result of a call: a normal value or an exception that
+// escaped the function.
+type Outcome struct {
+	Value int64
+	Exc   rt.ExcKind
+	// ExcRef is the escaped exception object (0 when Exc is ExcNone).
+	ExcRef int64
+}
+
+// Call runs fn with the given arguments and returns its outcome.
+func (m *Machine) Call(fn *ir.Func, args ...int64) (Outcome, error) {
+	if len(args) != fn.NumParams {
+		return Outcome{}, fmt.Errorf("machine: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
+	}
+	return m.exec(fn, args, 0)
+}
+
+// raise describes an in-flight exception during exec.
+type raise struct {
+	kind     rt.ExcKind
+	ref      int64
+	hardware bool
+}
+
+const maxCallDepth = 256
+
+func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
+	if depth > maxCallDepth {
+		return Outcome{}, fmt.Errorf("machine: call depth exceeded in %s", fn.Name)
+	}
+	locals := make([]int64, fn.NumLocals())
+	copy(locals, args)
+
+	blk := fn.Entry
+	for {
+		var pending *raise
+	instrLoop:
+		for _, in := range blk.Instrs {
+			m.steps++
+			if m.steps > m.MaxSteps {
+				return Outcome{}, ErrStepLimit
+			}
+			m.Stats.Instrs++
+			if in.ExcSite {
+				m.Stats.ImplicitSites++
+			}
+			m.Cycles += m.Arch.Cost(in)
+
+			val := func(o ir.Operand) int64 {
+				switch o.Kind {
+				case ir.OperVar:
+					return locals[o.Var]
+				case ir.OperConstInt:
+					return o.Int
+				case ir.OperConstFloat:
+					return int64(math.Float64bits(o.Float))
+				default: // null
+					return 0
+				}
+			}
+			fval := func(o ir.Operand) float64 {
+				switch o.Kind {
+				case ir.OperConstFloat:
+					return o.Float
+				case ir.OperConstInt:
+					return float64(o.Int)
+				default:
+					return math.Float64frombits(uint64(val(o)))
+				}
+			}
+
+			switch in.Op {
+			case ir.OpMove:
+				locals[in.Dst] = val(in.Args[0])
+			case ir.OpAdd:
+				locals[in.Dst] = val(in.Args[0]) + val(in.Args[1])
+			case ir.OpSub:
+				locals[in.Dst] = val(in.Args[0]) - val(in.Args[1])
+			case ir.OpMul:
+				locals[in.Dst] = val(in.Args[0]) * val(in.Args[1])
+			case ir.OpDiv, ir.OpRem:
+				d := val(in.Args[1])
+				if d == 0 {
+					pending = m.throw(rt.ExcArithmetic)
+					break instrLoop
+				}
+				if in.Op == ir.OpDiv {
+					locals[in.Dst] = val(in.Args[0]) / d
+				} else {
+					locals[in.Dst] = val(in.Args[0]) % d
+				}
+			case ir.OpAnd:
+				locals[in.Dst] = val(in.Args[0]) & val(in.Args[1])
+			case ir.OpOr:
+				locals[in.Dst] = val(in.Args[0]) | val(in.Args[1])
+			case ir.OpXor:
+				locals[in.Dst] = val(in.Args[0]) ^ val(in.Args[1])
+			case ir.OpShl:
+				locals[in.Dst] = val(in.Args[0]) << (uint64(val(in.Args[1])) & 63)
+			case ir.OpShr:
+				locals[in.Dst] = val(in.Args[0]) >> (uint64(val(in.Args[1])) & 63)
+			case ir.OpNeg:
+				locals[in.Dst] = -val(in.Args[0])
+			case ir.OpNot:
+				locals[in.Dst] = ^val(in.Args[0])
+			case ir.OpFAdd:
+				locals[in.Dst] = fbits(fval(in.Args[0]) + fval(in.Args[1]))
+			case ir.OpFSub:
+				locals[in.Dst] = fbits(fval(in.Args[0]) - fval(in.Args[1]))
+			case ir.OpFMul:
+				locals[in.Dst] = fbits(fval(in.Args[0]) * fval(in.Args[1]))
+			case ir.OpFDiv:
+				locals[in.Dst] = fbits(fval(in.Args[0]) / fval(in.Args[1]))
+			case ir.OpFNeg:
+				locals[in.Dst] = fbits(-fval(in.Args[0]))
+			case ir.OpIntToFloat:
+				locals[in.Dst] = fbits(float64(val(in.Args[0])))
+			case ir.OpFloatToInt:
+				locals[in.Dst] = int64(fval(in.Args[0]))
+			case ir.OpCmp:
+				if m.compare(fn, in, val, fval) {
+					locals[in.Dst] = 1
+				} else {
+					locals[in.Dst] = 0
+				}
+			case ir.OpMath:
+				locals[in.Dst] = fbits(mathFn(in.Fn, fval(in.Args[0])))
+			case ir.OpInstanceOf:
+				// instanceof never faults: null is simply not an instance.
+				ref := val(in.Args[0])
+				locals[in.Dst] = 0
+				if ref != 0 && m.Heap.ClassIDOf(ref) == int64(in.Class.ID) {
+					locals[in.Dst] = 1
+				}
+
+			case ir.OpNullCheck:
+				m.Stats.ExplicitChecks++
+				if val(in.Args[0]) == 0 {
+					m.Stats.ThrownSoftware++
+					pending = m.throw(rt.ExcNullPointer)
+					break instrLoop
+				}
+
+			case ir.OpNew:
+				locals[in.Dst] = m.Heap.AllocObject(in.Class)
+			case ir.OpNewArray:
+				n := val(in.Args[0])
+				if n < 0 {
+					pending = m.throw(rt.ExcNegativeArraySize)
+					break instrLoop
+				}
+				m.Cycles += m.Arch.AllocPerWordCycles * n
+				locals[in.Dst] = m.Heap.AllocArray(n)
+
+			case ir.OpGetField:
+				m.Stats.Loads++
+				v, r, err := m.load(in, val(in.Args[0])+int64(in.Field.Offset))
+				if err != nil {
+					return Outcome{}, err
+				}
+				if r != nil {
+					pending = r
+					break instrLoop
+				}
+				locals[in.Dst] = v
+			case ir.OpPutField:
+				m.Stats.Stores++
+				r, err := m.storeWord(in, val(in.Args[0])+int64(in.Field.Offset), val(in.Args[1]))
+				if err != nil {
+					return Outcome{}, err
+				}
+				if r != nil {
+					pending = r
+					break instrLoop
+				}
+			case ir.OpArrayLength:
+				m.Stats.Loads++
+				v, r, err := m.load(in, val(in.Args[0]))
+				if err != nil {
+					return Outcome{}, err
+				}
+				if r != nil {
+					pending = r
+					break instrLoop
+				}
+				locals[in.Dst] = v
+			case ir.OpBoundCheck:
+				m.Stats.BoundChecks++
+				idx, n := val(in.Args[0]), val(in.Args[1])
+				if idx < 0 || idx >= n {
+					m.Stats.ThrownSoftware++
+					pending = m.throw(rt.ExcArrayIndexOutOfBounds)
+					break instrLoop
+				}
+			case ir.OpArrayLoad:
+				m.Stats.Loads++
+				addr := val(in.Args[0]) + ir.ArrayHeaderBytes + val(in.Args[1])*ir.WordBytes
+				v, r, err := m.load(in, addr)
+				if err != nil {
+					return Outcome{}, err
+				}
+				if r != nil {
+					pending = r
+					break instrLoop
+				}
+				locals[in.Dst] = v
+			case ir.OpArrayStore:
+				m.Stats.Stores++
+				addr := val(in.Args[0]) + ir.ArrayHeaderBytes + val(in.Args[1])*ir.WordBytes
+				r, err := m.storeWord(in, addr, val(in.Args[2]))
+				if err != nil {
+					return Outcome{}, err
+				}
+				if r != nil {
+					pending = r
+					break instrLoop
+				}
+
+			case ir.OpCallStatic, ir.OpCallVirtual:
+				m.Stats.Calls++
+				if in.Op == ir.OpCallVirtual {
+					// Dispatch reads the header slot: the trap point.
+					m.Stats.Loads++
+					_, r, err := m.load(in, val(in.Args[0]))
+					if err != nil {
+						return Outcome{}, err
+					}
+					if r != nil {
+						pending = r
+						break instrLoop
+					}
+				}
+				out, err := m.callTarget(in, locals, depth, val, fval)
+				if err != nil {
+					return Outcome{}, err
+				}
+				if out.Exc != rt.ExcNone {
+					pending = &raise{kind: out.Exc, ref: out.ExcRef}
+					break instrLoop
+				}
+				if in.HasDst() {
+					locals[in.Dst] = out.Value
+				}
+
+			case ir.OpJump:
+				blk = in.Targets[0]
+				goto nextBlock
+			case ir.OpIf:
+				if m.compare(fn, in, val, fval) {
+					blk = in.Targets[0]
+				} else {
+					blk = in.Targets[1]
+				}
+				goto nextBlock
+			case ir.OpReturn:
+				if len(in.Args) == 1 {
+					return Outcome{Value: val(in.Args[0])}, nil
+				}
+				return Outcome{}, nil
+			case ir.OpThrow:
+				ref := val(in.Args[0])
+				m.Stats.ThrownSoftware++
+				pending = &raise{kind: m.Heap.ExcKindOf(ref), ref: ref}
+				break instrLoop
+
+			default:
+				return Outcome{}, fmt.Errorf("machine: cannot execute %s", in.Op)
+			}
+		}
+
+		if pending != nil {
+			// Exception dispatch: the innermost try region of the faulting
+			// block, else propagate to the caller.
+			if blk.Try != ir.NoTry {
+				region := fn.Regions[blk.Try]
+				if region.ExcVar != ir.NoVar {
+					locals[region.ExcVar] = pending.ref
+				}
+				blk = region.Handler
+				continue
+			}
+			return Outcome{Exc: pending.kind, ExcRef: pending.ref}, nil
+		}
+		// A block must end in a terminator; reaching here means Return
+		// already returned or a jump was taken.
+		return Outcome{}, fmt.Errorf("machine: block %s of %s fell through", blk, fn.Name)
+
+	nextBlock:
+	}
+}
+
+// throw allocates an exception object and charges the software-throw cost.
+func (m *Machine) throw(k rt.ExcKind) *raise {
+	m.Cycles += m.Arch.TrapDispatchCycles / 5
+	return &raise{kind: k, ref: m.Heap.AllocException(k)}
+}
+
+// trap converts a hardware trap into an NPE, charging the full OS dispatch.
+func (m *Machine) trap() *raise {
+	m.Stats.TrapsTaken++
+	m.Cycles += m.Arch.TrapDispatchCycles
+	return &raise{kind: rt.ExcNullPointer, ref: m.Heap.AllocException(rt.ExcNullPointer), hardware: true}
+}
+
+// load performs a memory read with full trap semantics.
+func (m *Machine) load(in *ir.Instr, addr int64) (int64, *raise, error) {
+	switch m.Heap.Classify(addr, m.Arch.TrapAreaBytes) {
+	case rt.AccessOK:
+		return m.Heap.Load(addr), nil, nil
+	case rt.AccessTrapCandidate:
+		if !m.Arch.TrapOnRead {
+			// The OS does not trap reads here (AIX): the program silently
+			// reads zero. Legal only for speculated loads; for anything
+			// else this is the "Illegal Implicit" behaviour — a missed NPE.
+			return 0, nil, nil
+		}
+		if in.ExcSite {
+			return 0, m.trap(), nil
+		}
+		return 0, nil, fmt.Errorf("machine: unexpected read trap at %s (addr %#x)", in, addr)
+	default:
+		// Unprotected garbage: no trap possible, reads yield zero.
+		return 0, nil, nil
+	}
+}
+
+// storeWord performs a memory write with full trap semantics.
+func (m *Machine) storeWord(in *ir.Instr, addr, v int64) (*raise, error) {
+	switch m.Heap.Classify(addr, m.Arch.TrapAreaBytes) {
+	case rt.AccessOK:
+		m.Heap.Store(addr, v)
+		return nil, nil
+	case rt.AccessTrapCandidate:
+		if !m.Arch.TrapOnWrite {
+			return nil, nil
+		}
+		if in.ExcSite {
+			return m.trap(), nil
+		}
+		return nil, fmt.Errorf("machine: unexpected write trap at %s (addr %#x)", in, addr)
+	default:
+		// Writes into the unprotected gap vanish.
+		return nil, nil
+	}
+}
+
+// callTarget invokes the callee of a call instruction.
+func (m *Machine) callTarget(in *ir.Instr, locals []int64, depth int,
+	val func(ir.Operand) int64, fval func(ir.Operand) float64) (Outcome, error) {
+	cal := in.Callee
+	if cal.Fn == nil {
+		if cal.Intrinsic != ir.MathNone {
+			// Runtime-implemented math (the call form used on models
+			// without the hardware instruction).
+			m.Cycles += m.Arch.MathCycles
+			if len(in.Args) == 0 {
+				return Outcome{}, fmt.Errorf("machine: intrinsic %s without args", cal.QualifiedName())
+			}
+			return Outcome{Value: fbits(mathFn(cal.Intrinsic, fval(in.Args[len(in.Args)-1])))}, nil
+		}
+		return Outcome{}, fmt.Errorf("machine: call to bodyless method %s", cal.QualifiedName())
+	}
+	args := make([]int64, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = val(a)
+	}
+	return m.exec(cal.Fn, args, depth+1)
+}
+
+// compare evaluates a Cond over two operands, using float comparison when
+// either side is float-kinded.
+func (m *Machine) compare(fn *ir.Func, in *ir.Instr,
+	val func(ir.Operand) int64, fval func(ir.Operand) float64) bool {
+	isFloat := func(o ir.Operand) bool {
+		if o.Kind == ir.OperConstFloat {
+			return true
+		}
+		return o.IsVar() && fn.Locals[o.Var].Kind == ir.KindFloat
+	}
+	if isFloat(in.Args[0]) || isFloat(in.Args[1]) {
+		a, b := fval(in.Args[0]), fval(in.Args[1])
+		switch in.Cond {
+		case ir.CondEQ:
+			return a == b
+		case ir.CondNE:
+			return a != b
+		case ir.CondLT:
+			return a < b
+		case ir.CondLE:
+			return a <= b
+		case ir.CondGT:
+			return a > b
+		case ir.CondGE:
+			return a >= b
+		}
+	}
+	a, b := val(in.Args[0]), val(in.Args[1])
+	switch in.Cond {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return a < b
+	case ir.CondLE:
+		return a <= b
+	case ir.CondGT:
+		return a > b
+	case ir.CondGE:
+		return a >= b
+	}
+	return false
+}
+
+func fbits(f float64) int64 { return int64(math.Float64bits(f)) }
+
+func mathFn(fn ir.MathFn, x float64) float64 {
+	switch fn {
+	case ir.MathExp:
+		return math.Exp(x)
+	case ir.MathLog:
+		return math.Log(x)
+	case ir.MathSin:
+		return math.Sin(x)
+	case ir.MathCos:
+		return math.Cos(x)
+	case ir.MathSqrt:
+		return math.Sqrt(x)
+	case ir.MathAbs:
+		return math.Abs(x)
+	case ir.MathPow:
+		return x // unary form unsupported; Pow uses two args elsewhere
+	}
+	return x
+}

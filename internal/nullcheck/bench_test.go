@@ -1,0 +1,77 @@
+package nullcheck
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/workloads"
+)
+
+// benchFn returns a fresh copy of a representative hot function (the
+// Assignment kernel's entry) for optimizing.
+func benchFn(b *testing.B) *ir.Func {
+	b.Helper()
+	w, err := workloads.ByName("Assignment")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, entryM := w.Build()
+	return entryM.Fn
+}
+
+// The compile-time story of Tables 4–5 hinges on the relative costs of
+// these passes; the benchmarks track them directly.
+
+func BenchmarkWhaley(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := benchFn(b)
+		b.StartTimer()
+		Whaley(fn)
+	}
+}
+
+func BenchmarkPhase1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := benchFn(b)
+		b.StartTimer()
+		Phase1(fn)
+	}
+}
+
+func BenchmarkPhase2(b *testing.B) {
+	m := arch.IA32Win()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := benchFn(b)
+		Phase1(fn)
+		b.StartTimer()
+		Phase2(fn, m)
+	}
+}
+
+func BenchmarkConvertToTraps(b *testing.B) {
+	m := arch.IA32Win()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fn := benchFn(b)
+		Phase1(fn)
+		b.StartTimer()
+		ConvertToTraps(fn, m)
+	}
+}
+
+func BenchmarkCheckGuards(b *testing.B) {
+	m := arch.IA32Win()
+	fn := benchFn(b)
+	Phase1(fn)
+	Phase2(fn, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckGuards(fn, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

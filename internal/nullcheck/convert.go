@@ -1,0 +1,117 @@
+package nullcheck
+
+import (
+	"trapnull/internal/arch"
+	"trapnull/internal/bitset"
+	"trapnull/internal/dataflow"
+	"trapnull/internal/ir"
+)
+
+// ConvertToTraps lowers explicit null checks onto the hardware trap without
+// moving them: a check is deleted when, on every path from it, an explicit
+// check or a guaranteed-trapping dereference of the same variable occurs
+// before any barrier, overwrite, or unguarded access — the substitutable
+// elimination of §4.2.2 run with trapping accesses as substitution points
+// but with no forward motion. Trap-capable dereferences that may now carry
+// the check are marked as exception sites.
+//
+// The Phase1Only configuration uses this as its final lowering: the paper's
+// phase-1-only measurement still "utilizes hardware traps" (Table 1 legend)
+// even though the architecture-dependent motion is disabled.
+func ConvertToTraps(f *ir.Func, m *arch.Model) int {
+	size := f.NumLocals()
+	genC, killC := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
+		return scanConvert(b, size, m)
+	})
+	res := dataflow.Solve(f, &dataflow.Problem{
+		Dir:          dataflow.Backward,
+		Meet:         dataflow.Intersect,
+		Size:         size,
+		Gen:          genC,
+		Kill:         killC,
+		EdgeSubtract: tryEdgeSubtract(size),
+	})
+
+	removed := 0
+	for _, b := range f.Blocks {
+		inTry := b.Try != ir.NoTry
+		cur := res.Out[b].Copy()
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {
+				b.RemoveInstr(i)
+				removed++
+				continue
+			}
+			if isBarrier(in, inTry) {
+				cur.Clear()
+			}
+			if v := overwrites(in); v != ir.NoVar {
+				cur.Remove(int(v))
+			}
+			if sa, ok := in.SlotAccessInfo(); ok {
+				if m.TrapsForAccess(sa) && !in.Speculated {
+					// This dereference can carry a deleted check above it;
+					// mark it so the machine translates the trap precisely.
+					if !in.ExcSite {
+						in.ExcSite = true
+						in.ExcVar = sa.Base
+					}
+					if in.ExcVar == sa.Base {
+						cur.Add(int(sa.Base))
+					} else {
+						cur.Remove(int(sa.Base))
+					}
+				} else {
+					cur.Remove(int(sa.Base))
+				}
+			}
+			if in.Op == ir.OpNullCheck {
+				cur.Add(int(in.NullCheckVar()))
+			}
+		}
+	}
+	return removed
+}
+
+// scanConvert computes block summaries for ConvertToTraps: Gen holds
+// variables whose first in-block event, with no earlier barrier, is an
+// explicit check or a guaranteed-trapping dereference; Kill matches the
+// motion Kill of §4.2.1.
+func scanConvert(b *ir.Block, size int, m *arch.Model) (gen, kill *bitset.Set) {
+	gen = bitset.New(size)
+	kill = bitset.New(size)
+	inTry := b.Try != ir.NoTry
+	barrierAbove := false
+	decided := bitset.New(size)
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpNullCheck {
+			v := int(in.NullCheckVar())
+			if !barrierAbove && !decided.Has(v) {
+				gen.Add(v)
+			}
+			decided.Add(v)
+			kill.Add(v)
+			continue
+		}
+		if sa, ok := in.SlotAccessInfo(); ok {
+			v := int(sa.Base)
+			if m.TrapsForAccess(sa) && !in.Speculated && (!in.ExcSite || in.ExcVar == sa.Base) {
+				if !barrierAbove && !decided.Has(v) {
+					gen.Add(v)
+				}
+			}
+			decided.Add(v)
+			kill.Add(v)
+		}
+		if isBarrier(in, inTry) {
+			barrierAbove = true
+			kill.Fill()
+		}
+		if v := overwrites(in); v != ir.NoVar {
+			decided.Add(int(v))
+			kill.Add(int(v))
+		}
+	}
+	return gen, kill
+}

@@ -1,0 +1,339 @@
+package nullcheck
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+)
+
+// TestConvertCrossBlockCoverage: a check at a block exit dissolves into a
+// trapping dereference in the (post-dominating) next block — the case the
+// adjacent-fold baseline cannot handle and phase 1's motion creates.
+func TestConvertCrossBlockCoverage(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("cross", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	next := b.DeclareBlock("next")
+	b.SetBlock(entry)
+	b.NullCheck(a, ir.ReasonMoved) // e.g. hoisted here by phase 1
+	b.Jump(next)
+	b.SetBlock(next)
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(v))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	removed := ConvertToTraps(f, m)
+	if removed != 1 || countChecks(f) != 0 {
+		t.Fatalf("removed=%d checks=%d, want 1/0:\n%s", removed, countChecks(f), f)
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guards: %v", err)
+	}
+	// The dereference must carry the mark.
+	if !next.Instrs[0].ExcSite || next.Instrs[0].ExcVar != a {
+		t.Fatalf("dereference not marked:\n%s", f)
+	}
+}
+
+// TestConvertBlockedByBarrier: a memory write between check and dereference
+// pins the check.
+func TestConvertBlockedByBarrier(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("barrier", false)
+	a := b.Param("a", ir.KindRef)
+	g := b.Param("g", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	b.NullCheck(a, ir.ReasonMoved)
+	b.PutField(g, c.FieldByName("f"), ir.ConstInt(1)) // barrier (+ its own check)
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(v))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	ConvertToTraps(f, m)
+	// a's check must survive: deleting it would let the NPE fire after the
+	// store to g.f became visible.
+	found := false
+	for _, in := range f.Entry.Instrs {
+		if in.Op == ir.OpPutField {
+			break
+		}
+		if in.Op == ir.OpNullCheck && in.NullCheckVar() == a {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("a's check moved or vanished across the barrier:\n%s", f)
+	}
+}
+
+// TestConvertBranchNeedsBothArms: with a dereference on only one arm the
+// check stays (intersection), exactly the Figure 7 situation that needs
+// phase 2's motion rather than pure substitution.
+func TestConvertBranchNeedsBothArms(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("onearm", false)
+	a := b.Param("a", ir.KindRef)
+	i := b.Param("i", ir.KindInt)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	deref := b.DeclareBlock("deref")
+	skip := b.DeclareBlock("skip")
+	b.SetBlock(entry)
+	b.NullCheck(a, ir.ReasonInlined)
+	b.If(ir.CondLT, ir.Var(i), ir.ConstInt(0), skip, deref)
+	b.SetBlock(deref)
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(v))
+	b.SetBlock(skip)
+	b.Return(ir.Var(i))
+	f := b.Finish()
+
+	if removed := ConvertToTraps(f, arch.IA32Win()); removed != 0 {
+		t.Fatalf("removed %d, want 0 (skip arm has no coverage):\n%s", removed, f)
+	}
+	if countChecks(f) != 1 {
+		t.Fatalf("check count = %d, want 1:\n%s", countChecks(f), f)
+	}
+}
+
+// TestConvertRespectsOverwrite: an overwrite of the variable between check
+// and dereference pins the check (the later dereference guards a different
+// value).
+func TestConvertRespectsOverwrite(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("ow", false)
+	a := b.Param("a", ir.KindRef)
+	b2 := b.Param("b", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	b.NullCheck(a, ir.ReasonMoved)
+	b.Move(a, ir.Var(b2)) // overwrite
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(v))
+	f := b.Finish()
+
+	if removed := ConvertToTraps(f, arch.IA32Win()); removed != 0 {
+		t.Fatalf("removed %d across an overwrite, want 0:\n%s", removed, f)
+	}
+}
+
+// TestConvertAIXWriteOnly: on the AIX model only write accesses substitute.
+func TestConvertAIXWriteOnly(t *testing.T) {
+	_, c := testClass()
+	build := func(write bool) *ir.Func {
+		b := ir.NewFunc("aix", false)
+		a := b.Param("a", ir.KindRef)
+		b.Result(ir.KindInt)
+		b.Block("entry")
+		b.NullCheck(a, ir.ReasonMoved)
+		if write {
+			b.Emit(&ir.Instr{Op: ir.OpPutField, Dst: ir.NoVar, Field: c.FieldByName("f"),
+				Args: []ir.Operand{ir.Var(a), ir.ConstInt(1)}})
+			b.Return(ir.ConstInt(0))
+		} else {
+			v := b.Temp(ir.KindInt)
+			b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+			b.Return(ir.Var(v))
+		}
+		return b.Finish()
+	}
+
+	m := arch.PPCAIX()
+	fw := build(true)
+	if removed := ConvertToTraps(fw, m); removed != 1 {
+		t.Fatalf("write: removed %d, want 1:\n%s", removed, fw)
+	}
+	fr := build(false)
+	if removed := ConvertToTraps(fr, m); removed != 0 {
+		t.Fatalf("read: removed %d, want 0 on write-only-trap model:\n%s", removed, fr)
+	}
+}
+
+// TestConvertDoesNotUseSpeculatedLoads: a speculated read cannot carry a
+// check (it is designed not to trap).
+func TestConvertDoesNotUseSpeculatedLoads(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("specload", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	b.NullCheck(a, ir.ReasonMoved)
+	v := b.Temp(ir.KindInt)
+	ld := b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	ld.Speculated = true
+	b.Return(ir.Var(v))
+	f := b.Finish()
+
+	if removed := ConvertToTraps(f, arch.IA32Win()); removed != 0 {
+		t.Fatalf("check dissolved into a speculated load:\n%s", f)
+	}
+}
+
+// TestFoldAdjacentRespectsNonVarBase: folding must not fire when the next
+// instruction dereferences a different variable.
+func TestFoldAdjacentDifferentVar(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("diff", false)
+	a := b.Param("a", ir.KindRef)
+	g := b.Param("g", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	b.NullCheck(a, ir.ReasonInlined)
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(g)}})
+	b.Return(ir.Var(v))
+	f := b.Finish()
+
+	if folded := FoldAdjacentTraps(f, arch.IA32Win()); folded != 0 {
+		t.Fatalf("folded a's check into g's dereference:\n%s", f)
+	}
+}
+
+// TestPhase2InsideTryRegion: checks may move within one region but the
+// region's barrier semantics hold — a local write inside a try pins motion.
+func TestPhase2InsideTryRegion(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("tryp2", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	tryBlk := b.Block("try")
+	handler := b.DeclareBlock("handler")
+	exc := b.Local("exc", ir.KindRef)
+	b.SetBlock(tryBlk)
+	b.NullCheck(a, ir.ReasonInlined)
+	x := b.Temp(ir.KindInt)
+	b.Move(x, ir.ConstInt(5)) // local write in try region = barrier
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(v))
+	b.SetBlock(handler)
+	b.Return(ir.ConstInt(-1))
+	f := b.F
+	region := f.NewRegion(handler, exc)
+	tryBlk.Try = region.ID
+	f.RecomputeEdges()
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+
+	m := arch.IA32Win()
+	Phase2(f, m)
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guards: %v", err)
+	}
+	// The check may not move past the local write: if a is null, the
+	// handler must observe x unwritten, so an explicit check must still
+	// precede the write. (A benign exception-site mark may also exist on
+	// the dereference — over-marking is documented ConvertToTraps
+	// behaviour — but it never fires because the check throws first.)
+	checkBeforeWrite := false
+	for _, in := range tryBlk.Instrs {
+		if in.HasDst() && in.Dst == x {
+			break
+		}
+		if in.Op == ir.OpNullCheck && in.NullCheckVar() == a {
+			checkBeforeWrite = true
+		}
+	}
+	if !checkBeforeWrite {
+		t.Fatalf("no explicit check precedes the try-local write:\n%s", f)
+	}
+}
+
+// TestInstanceOfEdgeRule: §4.1.2's instanceof-if rule — on the edge where
+// `v instanceof C` was true, v is non-null and its checks are redundant.
+func TestInstanceOfEdgeRule(t *testing.T) {
+	p, c := testClass()
+	_ = p
+	b := ir.NewFunc("iof", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	yes := b.DeclareBlock("yes")
+	no := b.DeclareBlock("no")
+	b.SetBlock(entry)
+	tst := b.Temp(ir.KindInt)
+	b.InstanceOf(tst, a, c)
+	b.If(ir.CondNE, ir.Var(tst), ir.ConstInt(0), yes, no)
+	b.SetBlock(yes)
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, a, c.FieldByName("f"))
+	b.Return(ir.Var(v))
+	b.SetBlock(no)
+	b.Return(ir.ConstInt(-1))
+	f := b.Finish()
+
+	st := Whaley(f)
+	if st.Eliminated != 1 || countChecks(f) != 0 {
+		t.Fatalf("instanceof edge fact not used: %+v\n%s", st, f)
+	}
+	if err := CheckGuards(f, arch.IA32Win()); err != nil {
+		t.Fatalf("guards: %v", err)
+	}
+}
+
+// TestInstanceOfEdgeRuleEQForm: the x == 0 form proves non-null on the else
+// edge.
+func TestInstanceOfEdgeRuleEQForm(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("iof2", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	notInst := b.DeclareBlock("notinst")
+	inst := b.DeclareBlock("inst")
+	b.SetBlock(entry)
+	tst := b.Temp(ir.KindInt)
+	b.InstanceOf(tst, a, c)
+	b.If(ir.CondEQ, ir.Var(tst), ir.ConstInt(0), notInst, inst)
+	b.SetBlock(notInst)
+	b.Return(ir.ConstInt(-1))
+	b.SetBlock(inst)
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, a, c.FieldByName("f"))
+	b.Return(ir.Var(v))
+	f := b.Finish()
+
+	if st := Whaley(f); st.Eliminated != 1 {
+		t.Fatalf("EQ-form instanceof edge fact not used: %+v\n%s", st, f)
+	}
+}
+
+// TestInstanceOfEdgeRejectedWhenRefRedefined: redefining the reference
+// between the instanceof and the branch invalidates the fact.
+func TestInstanceOfEdgeRejectedWhenRefRedefined(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("iof3", false)
+	a := b.Param("a", ir.KindRef)
+	other := b.Param("o", ir.KindRef)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	yes := b.DeclareBlock("yes")
+	no := b.DeclareBlock("no")
+	b.SetBlock(entry)
+	tst := b.Temp(ir.KindInt)
+	b.InstanceOf(tst, a, c)
+	b.Move(a, ir.Var(other)) // invalidates the instanceof fact for a
+	b.If(ir.CondNE, ir.Var(tst), ir.ConstInt(0), yes, no)
+	b.SetBlock(yes)
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, a, c.FieldByName("f"))
+	b.Return(ir.Var(v))
+	b.SetBlock(no)
+	b.Return(ir.ConstInt(-1))
+	f := b.Finish()
+
+	if st := Whaley(f); st.Eliminated != 0 {
+		t.Fatalf("stale instanceof fact used after redefinition: %+v\n%s", st, f)
+	}
+}

@@ -1,0 +1,16 @@
+package nullcheck
+
+import (
+	"trapnull/internal/bitset"
+	"trapnull/internal/ir"
+)
+
+// NonNullOut returns, for every block, the set of variables proven non-null
+// at the block's exit. Scalar replacement uses it to decide whether a memory
+// read may be hoisted to a loop preheader without crossing its own null
+// check — the interplay the paper illustrates in Figure 4: phase 1 hoists
+// the check, which is what makes the load hoistable at all.
+func NonNullOut(f *ir.Func) map[*ir.Block]*bitset.Set {
+	res := nonNullAnalysis(f, nil)
+	return res.Out
+}

@@ -1,0 +1,119 @@
+package nullcheck
+
+import (
+	"trapnull/internal/bitset"
+	"trapnull/internal/dataflow"
+	"trapnull/internal/ir"
+)
+
+// nonNullAnalysis is the forward "known non-null" data-flow problem of
+// §4.1.2, shared by the phase 1 elimination stage, the Whaley baseline, and
+// the guard checker. extraEdge optionally injects facts at block exits — the
+// phase 1 caller passes the Earliest sets so that planned insertions count as
+// checks before they physically exist.
+func nonNullAnalysis(f *ir.Func, extraEdge map[*ir.Block]*bitset.Set) *dataflow.Result {
+	size := f.NumLocals()
+	genN, killN := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
+		gen := bitset.New(size)
+		kill := bitset.New(size)
+		scanNonNull(b, gen, kill)
+		return gen, kill
+	})
+	p := &dataflow.Problem{
+		Dir:  dataflow.Forward,
+		Meet: dataflow.Intersect,
+		Size: size,
+		Gen:  genN,
+		Kill: killN,
+		EdgeAdd: func(from, to *ir.Block) *bitset.Set {
+			add := bitset.New(size)
+			if v := condEdgeNonNull(from, to); v != ir.NoVar {
+				add.Add(int(v))
+			}
+			if extraEdge != nil {
+				if s := extraEdge[from]; s != nil {
+					add.Union(s)
+				}
+			}
+			return add
+		},
+	}
+	// The receiver of an instance method is non-null on entry (the paper's
+	// Edge rule for the `this` object).
+	boundary := bitset.New(size)
+	if f.IsInstance && f.NumParams > 0 {
+		boundary.Add(0)
+	}
+	p.Boundary = boundary
+	return dataflow.Solve(f, p)
+}
+
+// scanNonNull computes the block-level gen/kill of non-nullness facts by a
+// forward walk: a write to a variable kills its fact; a null check, a
+// successful dereference, or an allocation (re)establishes it.
+func scanNonNull(b *ir.Block, gen, kill *bitset.Set) {
+	for _, in := range b.Instrs {
+		// The dereference happens before the destination write, so order
+		// matters for instructions like v = v.next.
+		if sa, ok := in.SlotAccessInfo(); ok && !in.Speculated {
+			gen.Add(int(sa.Base))
+		}
+		if in.Op == ir.OpNullCheck {
+			gen.Add(int(in.NullCheckVar()))
+		}
+		if v := overwrites(in); v != ir.NoVar {
+			gen.Remove(int(v))
+			kill.Add(int(v))
+		}
+		if in.Op == ir.OpNew || in.Op == ir.OpNewArray {
+			gen.Add(int(in.Dst))
+		}
+	}
+}
+
+// stepNonNull advances the running non-null set across one instruction,
+// mirroring scanNonNull's per-instruction logic.
+func stepNonNull(cur *bitset.Set, in *ir.Instr) {
+	if sa, ok := in.SlotAccessInfo(); ok && !in.Speculated {
+		cur.Add(int(sa.Base))
+	}
+	if in.Op == ir.OpNullCheck {
+		cur.Add(int(in.NullCheckVar()))
+	}
+	if v := overwrites(in); v != ir.NoVar {
+		cur.Remove(int(v))
+	}
+	if in.Op == ir.OpNew || in.Op == ir.OpNewArray {
+		cur.Add(int(in.Dst))
+	}
+}
+
+// eliminateKnownNonNull removes every null check whose target is proven
+// non-null at the check, using a precomputed non-null analysis. Returns the
+// number of checks removed.
+func eliminateKnownNonNull(f *ir.Func, res *dataflow.Result) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		cur := res.In[b].Copy()
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {
+				removed++
+				continue
+			}
+			stepNonNull(cur, in)
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}
+
+// Whaley implements the previous best algorithm the paper compares against
+// ("Old Null Check"): a single forward data-flow elimination of redundant
+// checks, with no motion. It returns the elimination count.
+func Whaley(f *ir.Func) Stats {
+	res := nonNullAnalysis(f, nil)
+	n := eliminateKnownNonNull(f, res)
+	return Stats{Eliminated: n, ExplicitRemaining: f.CountOp(ir.OpNullCheck)}
+}

@@ -1,0 +1,116 @@
+package nullcheck
+
+import (
+	"trapnull/internal/bitset"
+	"trapnull/internal/dataflow"
+	"trapnull/internal/ir"
+)
+
+// Phase1 runs the architecture-independent optimization of §4.1: it computes
+// the earliest points null checks can reach when moved backward (§4.1.1),
+// eliminates checks proven non-null by the forward analysis assuming those
+// insertions (§4.1.2), and materializes the surviving insertion points at
+// block exits. The transformation is insert-then-prune: an original check is
+// only deleted when provably covered on all incoming paths, so safety never
+// depends on the insertion placement.
+//
+// The pass is designed to be iterated with bounds-check elimination and
+// scalar replacement (Figure 2); each iteration is one Phase1 call.
+func Phase1(f *ir.Func) Stats {
+	size := f.NumLocals()
+	// Critical edges carry the natural insertion points of guarded loops
+	// (the guard→body edge is the loop preheader); split them so "insert at
+	// block exit" can express those placements.
+	f.SplitCriticalEdges()
+	f.RecomputeEdges()
+
+	// --- §4.1.1: backward movable-area analysis -------------------------
+	genB, killB := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
+		return scanBackwardMotion(b, size)
+	})
+	bwd := dataflow.Solve(f, &dataflow.Problem{
+		Dir:          dataflow.Backward,
+		Meet:         dataflow.Intersect,
+		Size:         size,
+		Gen:          genB,
+		Kill:         killB,
+		EdgeSubtract: tryEdgeSubtract(size),
+		// Boundary at exits: nothing is anticipated after a return.
+	})
+
+	// --- Earliest(n): checks anticipated at the exit of n that no
+	// predecessor anticipates at its own exit ----------------------------
+	earliest := make(map[*ir.Block]*bitset.Set, len(f.Blocks))
+	for _, b := range f.Blocks {
+		e := bwd.Out[b].Copy()
+		for _, p := range b.Preds {
+			notOut := bwd.Out[p].Copy()
+			notOut.Complement()
+			e.Intersect(notOut)
+		}
+		// Only variables that actually have checks somewhere benefit from
+		// insertion; Out_bwd already guarantees that, but restrict to ref
+		// variables for hygiene.
+		e.Intersect(refVars(f))
+		earliest[b] = e
+	}
+
+	// --- §4.1.2: forward non-null analysis assuming the insertions ------
+	fwd := nonNullAnalysis(f, earliest)
+
+	st := Stats{}
+	st.Eliminated = eliminateKnownNonNull(f, fwd)
+
+	// --- Prune and materialize insertion points -------------------------
+	// Earliest(n) = Earliest(n) − Out_fwd(n): an insertion is useless where
+	// the variable is already non-null at the block exit.
+	for _, b := range f.Blocks {
+		e := earliest[b]
+		e.Subtract(fwd.Out[b])
+		e.ForEach(func(v int) {
+			b.InsertBeforeTerminator(&ir.Instr{
+				Op:       ir.OpNullCheck,
+				Dst:      ir.NoVar,
+				Args:     []ir.Operand{ir.Var(ir.VarID(v))},
+				Reason:   ir.ReasonMoved,
+				Explicit: true,
+			})
+			st.Inserted++
+		})
+	}
+	st.ExplicitRemaining = f.CountOp(ir.OpNullCheck)
+	return st
+}
+
+// scanBackwardMotion computes the §4.1.1 block summaries.
+//
+// Gen_bwd: checks located in b that can move up to b's entry — no barrier
+// and no overwrite of the target appears above them in the block.
+//
+// Kill_bwd: checks that cannot move up through b — the whole universe when
+// the block contains a side-effect barrier, plus every overwritten variable.
+func scanBackwardMotion(b *ir.Block, size int) (gen, kill *bitset.Set) {
+	gen = bitset.New(size)
+	kill = bitset.New(size)
+	inTry := b.Try != ir.NoTry
+	barrierAbove := false
+	blockedAbove := bitset.New(size)
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpNullCheck {
+			v := int(in.NullCheckVar())
+			if !barrierAbove && !blockedAbove.Has(v) {
+				gen.Add(v)
+			}
+			continue
+		}
+		if isBarrier(in, inTry) {
+			barrierAbove = true
+			kill.Fill()
+		}
+		if v := overwrites(in); v != ir.NoVar {
+			blockedAbove.Add(int(v))
+			kill.Add(int(v))
+		}
+	}
+	return gen, kill
+}

@@ -1,0 +1,393 @@
+package nullcheck
+
+import (
+	"testing"
+
+	"trapnull/internal/ir"
+)
+
+// testClass builds a program with one class with two int fields.
+func testClass() (*ir.Program, *ir.Class) {
+	p := ir.NewProgram("t")
+	c := p.NewClass("C",
+		&ir.Field{Name: "f", Kind: ir.KindInt},
+		&ir.Field{Name: "g", Kind: ir.KindInt},
+	)
+	return p, c
+}
+
+func countChecks(f *ir.Func) int { return f.CountOp(ir.OpNullCheck) }
+
+func checksInBlock(b *ir.Block) int {
+	n := 0
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpNullCheck {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPhase1Figure3 reproduces Figure 3: a partially redundant check at a
+// merge point. The left path dereferences (and checks) before the merge; the
+// right does not. After phase 1, exactly one check executes on each path.
+func TestPhase1Figure3(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("fig3", false)
+	a := b.Param("a", ir.KindRef)
+	cond := b.Param("cond", ir.KindInt)
+	b.Result(ir.KindInt)
+
+	entry := b.Block("entry")
+	left := b.DeclareBlock("left")
+	right := b.DeclareBlock("right")
+	merge := b.DeclareBlock("merge")
+
+	b.SetBlock(entry)
+	b.If(ir.CondNE, ir.Var(cond), ir.ConstInt(0), left, right)
+
+	b.SetBlock(left)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f")) // nullcheck a; t1 = a.f
+	b.Jump(merge)
+
+	b.SetBlock(right)
+	b.Jump(merge)
+
+	b.SetBlock(merge)
+	t2 := b.Temp(ir.KindInt)
+	b.GetField(t2, a, c.FieldByName("g")) // nullcheck a; t2 = a.g
+	b.Return(ir.Var(t2))
+
+	f := b.Finish()
+	if got := countChecks(f); got != 2 {
+		t.Fatalf("before: %d checks, want 2", got)
+	}
+
+	st := Phase1(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid after phase1: %v", err)
+	}
+	if got := countChecks(f); got != 1 {
+		t.Fatalf("after: %d checks, want 1:\n%s", got, f)
+	}
+	if checksInBlock(entry) != 1 {
+		t.Fatalf("check not hoisted to entry:\n%s", f)
+	}
+	if st.Eliminated != 2 || st.Inserted != 1 {
+		t.Fatalf("stats = %+v, want 2 eliminated / 1 inserted", st)
+	}
+}
+
+// TestPhase1LoopInvariant reproduces the Figure 4 effect: a check inside a
+// do-while loop body moves out of the loop.
+func TestPhase1LoopInvariant(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("loopinv", false)
+	a := b.Param("a", ir.KindRef)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	entry := b.Block("entry")
+	body := b.DeclareBlock("body")
+	exit := b.DeclareBlock("exit")
+
+	b.SetBlock(entry)
+	b.Move(i, ir.ConstInt(0))
+	b.Move(s, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(t1))
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+
+	f := b.Finish()
+	Phase1(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid after phase1: %v", err)
+	}
+	if got := checksInBlock(body); got != 0 {
+		t.Fatalf("loop body still has %d checks:\n%s", got, f)
+	}
+	if got := checksInBlock(entry); got != 1 {
+		t.Fatalf("entry has %d checks, want the hoisted one:\n%s", got, f)
+	}
+}
+
+// TestPhase1WhaleyCannotHoistLoop is the contrast the paper draws in §2.2:
+// the forward-only algorithm must leave the loop-invariant check in place.
+func TestPhase1WhaleyCannotHoistLoop(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("loopinv2", false)
+	a := b.Param("a", ir.KindRef)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+
+	entry := b.Block("entry")
+	body := b.DeclareBlock("body")
+	exit := b.DeclareBlock("exit")
+
+	b.SetBlock(entry)
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+	b.SetBlock(body)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+	b.SetBlock(exit)
+	b.Return(ir.Var(i))
+	f := b.Finish()
+
+	st := Whaley(f)
+	// The back edge makes the check redundant with itself only after the
+	// first iteration, which forward analysis with an entry meet cannot use.
+	if got := checksInBlock(body); got != 1 {
+		t.Fatalf("whaley: body has %d checks, want 1 (no hoisting):\n%s", got, f)
+	}
+	if st.Eliminated != 0 {
+		t.Fatalf("whaley eliminated %d, want 0", st.Eliminated)
+	}
+}
+
+// TestWhaleyEliminatesSequentialRedundancy: the second check of the same
+// variable in straight-line code is redundant.
+func TestWhaleyEliminatesSequentialRedundancy(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("seq", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	t2 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.GetField(t2, a, c.FieldByName("g"))
+	b.Binop(ir.OpAdd, t1, ir.Var(t1), ir.Var(t2))
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	st := Whaley(f)
+	if st.Eliminated != 1 {
+		t.Fatalf("eliminated %d, want 1:\n%s", st.Eliminated, f)
+	}
+	if got := countChecks(f); got != 1 {
+		t.Fatalf("%d checks remain, want 1", got)
+	}
+}
+
+// TestPhase1OverwriteBlocksMotion: a check cannot move above an assignment
+// to its variable, and the new-dominated path needs no check at all.
+func TestPhase1OverwriteBlocksMotion(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("overwrite", false)
+	a := b.Param("a", ir.KindRef)
+	cond := b.Param("cond", ir.KindInt)
+	b.Result(ir.KindInt)
+
+	entry := b.Block("entry")
+	alloc := b.DeclareBlock("alloc")
+	keep := b.DeclareBlock("keep")
+	merge := b.DeclareBlock("merge")
+
+	b.SetBlock(entry)
+	b.If(ir.CondNE, ir.Var(cond), ir.ConstInt(0), alloc, keep)
+
+	b.SetBlock(alloc)
+	b.New(a, c) // overwrites a with a fresh object
+	b.Jump(merge)
+
+	b.SetBlock(keep)
+	b.Jump(merge)
+
+	b.SetBlock(merge)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+
+	f := b.Finish()
+	Phase1(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if got := countChecks(f); got != 1 {
+		t.Fatalf("%d checks, want 1:\n%s", got, f)
+	}
+	if checksInBlock(alloc) != 0 {
+		t.Fatalf("allocation path must not check:\n%s", f)
+	}
+	if checksInBlock(keep) != 1 {
+		t.Fatalf("check should sit on the keep path:\n%s", f)
+	}
+}
+
+// TestPhase1BarrierBlocksMotion: a memory write stops backward motion.
+func TestPhase1BarrierBlocksMotion(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("barrier", false)
+	a := b.Param("a", ir.KindRef)
+	g := b.Param("g", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	b.PutField(g, c.FieldByName("f"), ir.ConstInt(1)) // nullcheck g; g.f = 1
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f")) // nullcheck a; t1 = a.f
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	Phase1(f)
+	// a's check must not move above the store to g.f: verify it is still
+	// after the putfield.
+	sawStore := false
+	sawCheckA := false
+	for _, in := range f.Entry.Instrs {
+		if in.Op == ir.OpPutField {
+			sawStore = true
+		}
+		if in.Op == ir.OpNullCheck && in.NullCheckVar() == a {
+			if !sawStore {
+				t.Fatalf("check of a moved above the memory write:\n%s", f)
+			}
+			sawCheckA = true
+		}
+	}
+	if !sawCheckA {
+		t.Fatalf("check of a disappeared:\n%s", f)
+	}
+}
+
+// TestPhase1ThisIsNonNull: the receiver needs no check in an instance
+// method (§4.1.2 Edge rule).
+func TestPhase1ThisIsNonNull(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("getF", true)
+	this := b.Param("this", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, this, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	st := Phase1(f)
+	if st.Eliminated != 1 || countChecks(f) != 0 {
+		t.Fatalf("this-check not eliminated: stats=%+v\n%s", st, f)
+	}
+}
+
+// TestPhase1IfNonNullEdge: `if a == null` proves non-nullness on the else
+// edge.
+func TestPhase1IfNonNullEdge(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("ifnull", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+
+	entry := b.Block("entry")
+	isNull := b.DeclareBlock("isnull")
+	notNull := b.DeclareBlock("notnull")
+
+	b.SetBlock(entry)
+	b.If(ir.CondEQ, ir.Var(a), ir.Null(), isNull, notNull)
+	b.SetBlock(isNull)
+	b.Return(ir.ConstInt(-1))
+	b.SetBlock(notNull)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	Phase1(f)
+	if got := countChecks(f); got != 0 {
+		t.Fatalf("%d checks remain, want 0 (edge fact):\n%s", got, f)
+	}
+}
+
+// TestPhase1TryBoundaryBlocksMotion: checks may not move across a
+// try-region boundary.
+func TestPhase1TryBoundaryBlocksMotion(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("try", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+
+	entry := b.Block("entry")
+	tryBlk := b.DeclareBlock("try")
+	handler := b.DeclareBlock("handler")
+	exc := b.Local("exc", ir.KindRef)
+
+	b.SetBlock(entry)
+	b.Jump(tryBlk)
+
+	b.SetBlock(tryBlk)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+
+	b.SetBlock(handler)
+	b.Return(ir.ConstInt(-1))
+
+	f := b.F
+	r := f.NewRegion(handler, exc)
+	tryBlk.Try = r.ID
+	f.RecomputeEdges()
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	Phase1(f)
+	if got := checksInBlock(entry); got != 0 {
+		t.Fatalf("check crossed into the pre-try block:\n%s", f)
+	}
+	if got := checksInBlock(tryBlk); got != 1 {
+		t.Fatalf("check left the try region (%d in try block):\n%s", got, f)
+	}
+}
+
+// TestPhase1Idempotent: running phase 1 twice must not change the result of
+// the first run (the pipeline iterates it with other optimizations).
+func TestPhase1Idempotent(t *testing.T) {
+	_, c := testClass()
+	build := func() *ir.Func {
+		b := ir.NewFunc("idem", false)
+		a := b.Param("a", ir.KindRef)
+		cond := b.Param("cond", ir.KindInt)
+		b.Result(ir.KindInt)
+		entry := b.Block("entry")
+		left := b.DeclareBlock("left")
+		right := b.DeclareBlock("right")
+		merge := b.DeclareBlock("merge")
+		b.SetBlock(entry)
+		b.If(ir.CondNE, ir.Var(cond), ir.ConstInt(0), left, right)
+		b.SetBlock(left)
+		t1 := b.Temp(ir.KindInt)
+		b.GetField(t1, a, c.FieldByName("f"))
+		b.Jump(merge)
+		b.SetBlock(right)
+		b.Jump(merge)
+		b.SetBlock(merge)
+		t2 := b.Temp(ir.KindInt)
+		b.GetField(t2, a, c.FieldByName("g"))
+		b.Return(ir.Var(t2))
+		return b.Finish()
+	}
+	f := build()
+	Phase1(f)
+	first := countChecks(f)
+	st2 := Phase1(f)
+	if got := countChecks(f); got != first {
+		t.Fatalf("second run changed check count %d -> %d:\n%s", first, got, f)
+	}
+	// The second run may churn (re-move the same check) but must not grow.
+	if st2.Inserted > st2.Eliminated {
+		t.Fatalf("second run grew the program: %+v", st2)
+	}
+}

@@ -1,0 +1,251 @@
+package nullcheck
+
+import (
+	"trapnull/internal/arch"
+	"trapnull/internal/bitset"
+	"trapnull/internal/dataflow"
+	"trapnull/internal/ir"
+)
+
+// Phase2 runs the architecture-dependent optimization of §4.2 for the given
+// machine model: null checks move forward to their latest points, convert to
+// implicit (hardware-trap) checks where the very next dereference of the
+// checked variable is guaranteed to trap, and surviving explicit checks that
+// are substitutable — covered later on every path — are eliminated.
+//
+// Critical edges are split first; with them gone, "insert at block exit"
+// expresses every placement the paper's Latest sets describe, and the
+// intersection meet at merges is safe (see DESIGN.md on the union in the
+// paper's formula).
+func Phase2(f *ir.Func, m *arch.Model) Stats {
+	f.SplitCriticalEdges()
+	size := f.NumLocals()
+
+	genF, killF := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
+		return scanForwardMotion(b, size)
+	})
+	res := dataflow.Solve(f, &dataflow.Problem{
+		Dir:          dataflow.Forward,
+		Meet:         dataflow.Intersect,
+		Size:         size,
+		Gen:          genF,
+		Kill:         killF,
+		EdgeSubtract: tryEdgeSubtract(size),
+		// Boundary at entry: no checks arrive from outside the function.
+	})
+
+	st := Stats{}
+	for _, b := range f.Blocks {
+		rewriteBlock(b, m, res, &st)
+	}
+
+	st.Eliminated += peepholeImplicit(f, m)
+	// §4.2.2, the substitutable elimination: a surviving explicit check
+	// dissolves when a later explicit check or guaranteed trap covers it on
+	// every path. ConvertToTraps is exactly that backward analysis (it also
+	// marks the trapping dereferences that may now carry a deleted check),
+	// and doubling as the Phase1Only lowering keeps phase 2 a strict
+	// superset of it.
+	st.Eliminated += ConvertToTraps(f, m)
+	st.ExplicitRemaining = f.CountOp(ir.OpNullCheck)
+	return st
+}
+
+// scanForwardMotion computes the §4.2.1 block summaries.
+//
+// Gen_fwd: checks located in b that can move down to b's exit — no barrier,
+// no dereference of the target, and no overwrite of the target below them.
+//
+// Kill: checks that cannot move down through b — everything when a barrier
+// is present, plus overwritten variables, plus variables whose slot is
+// dereferenced (the dereference consumes the moving check).
+func scanForwardMotion(b *ir.Block, size int) (gen, kill *bitset.Set) {
+	gen = bitset.New(size)
+	kill = bitset.New(size)
+	inTry := b.Try != ir.NoTry
+	barrierBelow := false
+	blockedBelow := bitset.New(size)
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if in.Op == ir.OpNullCheck {
+			v := int(in.NullCheckVar())
+			if !barrierBelow && !blockedBelow.Has(v) {
+				gen.Add(v)
+			}
+			continue
+		}
+		if sa, ok := in.SlotAccessInfo(); ok {
+			blockedBelow.Add(int(sa.Base))
+			kill.Add(int(sa.Base))
+		}
+		if isBarrier(in, inTry) {
+			barrierBelow = true
+			kill.Fill()
+		}
+		if v := overwrites(in); v != ir.NoVar {
+			blockedBelow.Add(int(v))
+			kill.Add(int(v))
+		}
+	}
+	return gen, kill
+}
+
+// rewriteBlock applies the in-block insertion-point algorithm of §4.2.1:
+// original checks dissolve into the Inner set and re-materialize at their
+// latest legal points, as implicit exception-site marks when the consuming
+// dereference is guaranteed to trap, as explicit check instructions
+// otherwise.
+func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats) {
+	size := res.In[b].Len()
+	inner := res.In[b].Copy()
+	inTry := b.Try != ir.NoTry
+
+	out := make([]*ir.Instr, 0, len(b.Instrs))
+	emitExplicit := func(v int) {
+		out = append(out, &ir.Instr{
+			Op:       ir.OpNullCheck,
+			Dst:      ir.NoVar,
+			Args:     []ir.Operand{ir.Var(ir.VarID(v))},
+			Reason:   ir.ReasonMoved,
+			Explicit: true,
+		})
+		st.Inserted++
+	}
+
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpNullCheck {
+			// The check joins the moving set; its instruction disappears
+			// and will re-materialize at the latest point.
+			inner.Add(int(in.NullCheckVar()))
+			continue
+		}
+		if sa, ok := in.SlotAccessInfo(); ok && inner.Has(int(sa.Base)) {
+			if m.TrapsForAccess(sa) {
+				// Implicit null check: zero instructions; the dereference
+				// is the exception site (§3.3.2 step 2).
+				in.ExcSite = true
+				in.ExcVar = sa.Base
+				st.Implicit++
+			} else {
+				// The access cannot be trusted to trap (big offset, read on
+				// a write-only-trap OS, dynamic array offset): the check
+				// must stay explicit and precede the access.
+				emitExplicit(int(sa.Base))
+			}
+			inner.Remove(int(sa.Base))
+		}
+		if isBarrier(in, inTry) {
+			inner.ForEach(emitExplicit)
+			inner.Clear()
+		} else if v := overwrites(in); v != ir.NoVar && inner.Has(int(v)) {
+			emitExplicit(int(v))
+			inner.Remove(int(v))
+		}
+		if in.IsTerminator() {
+			// Checks still moving either continue into every successor
+			// (each successor expects them: the check is in its In set) or
+			// must be emitted here, before the terminator.
+			pending := inner.Copy()
+			pending.ForEach(func(v int) {
+				continues := len(b.Succs) > 0
+				for _, s := range b.Succs {
+					if !res.In[s].Has(v) {
+						continues = false
+						break
+					}
+				}
+				if !continues {
+					emitExplicit(v)
+				}
+			})
+			inner = bitset.New(size)
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+}
+
+// peepholeImplicit converts an explicit check whose target's first following
+// event within the block is a guaranteed-trapping dereference into an
+// implicit check on that dereference. Phase 2's barrier flushes can leave
+// such pairs behind (check emitted at a memory write, dereference right
+// after); the paper's §4.2.2 Gen set covers them by treating trapping
+// accesses as substitution points, and the marking here keeps the trap
+// translatable into a precise NPE.
+func peepholeImplicit(f *ir.Func, m *arch.Model) int {
+	removed := 0
+	for _, b := range f.Blocks {
+		inTry := b.Try != ir.NoTry
+		kept := b.Instrs[:0]
+		for idx, in := range b.Instrs {
+			if in.Op != ir.OpNullCheck {
+				kept = append(kept, in)
+				continue
+			}
+			v := in.NullCheckVar()
+			consumed := false
+		scan:
+			for _, later := range b.Instrs[idx+1:] {
+				if later.Op == ir.OpNullCheck {
+					if later.NullCheckVar() == v {
+						// A later identical check covers this one.
+						consumed = true
+					}
+					break scan
+				}
+				if sa, ok := later.SlotAccessInfo(); ok && sa.Base == v {
+					if m.TrapsForAccess(sa) {
+						if !later.ExcSite {
+							later.ExcSite = true
+							later.ExcVar = v
+						}
+						if later.ExcVar == v {
+							consumed = true
+						}
+					}
+					break scan
+				}
+				if isBarrier(later, inTry) || overwrites(later) == v {
+					break scan
+				}
+			}
+			if consumed {
+				removed++
+			} else {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+	return removed
+}
+
+// FoldAdjacentTraps implements the pre-paper implicit-check lowering used by
+// the baseline configurations (§2.1): a null check is folded into the
+// hardware trap only when the immediately following instruction is a
+// guaranteed-trapping dereference of the same variable. Returns the number
+// of checks folded.
+func FoldAdjacentTraps(f *ir.Func, m *arch.Model) int {
+	folded := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for idx, in := range b.Instrs {
+			if in.Op == ir.OpNullCheck && idx+1 < len(b.Instrs) {
+				next := b.Instrs[idx+1]
+				if sa, ok := next.SlotAccessInfo(); ok && sa.Base == in.NullCheckVar() && m.TrapsForAccess(sa) {
+					if !next.ExcSite {
+						next.ExcSite = true
+						next.ExcVar = sa.Base
+					}
+					if next.ExcVar == sa.Base {
+						folded++
+						continue
+					}
+				}
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return folded
+}

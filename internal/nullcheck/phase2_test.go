@@ -1,0 +1,456 @@
+package nullcheck
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+)
+
+func countImplicit(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.ExcSite {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestPhase2AdjacentBecomesImplicit: the basic conversion — a check followed
+// by its dereference vanishes into the hardware trap.
+func TestPhase2AdjacentBecomesImplicit(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("adj", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	st := Phase2(f, m)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if countChecks(f) != 0 {
+		t.Fatalf("explicit checks remain:\n%s", f)
+	}
+	if countImplicit(f) != 1 || st.Implicit != 1 {
+		t.Fatalf("implicit = %d (stats %+v), want 1:\n%s", countImplicit(f), st, f)
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+}
+
+// TestPhase2Figure7 reproduces Figure 7: an inlining-produced check whose
+// dereference happens on only one path. The dereferencing path becomes
+// implicit (free); the other path keeps one explicit check at its latest
+// point.
+func TestPhase2Figure7(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("fig7", false)
+	a := b.Param("a", ir.KindRef)
+	i := b.Param("i", ir.KindInt)
+	b.Result(ir.KindInt)
+
+	entry := b.Block("entry")
+	neg := b.DeclareBlock("neg")
+	pos := b.DeclareBlock("pos")
+
+	b.SetBlock(entry)
+	b.NullCheck(a, ir.ReasonInlined) // the devirtualization guard
+	b.If(ir.CondLT, ir.Var(i), ir.ConstInt(0), neg, pos)
+
+	b.SetBlock(neg)
+	b.Return(ir.Var(i)) // no dereference of a on this path
+
+	b.SetBlock(pos)
+	t1 := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: t1, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(t1))
+
+	f := b.Finish()
+	m := arch.IA32Win()
+	st := Phase2(f, m)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if st.Implicit != 1 {
+		t.Fatalf("implicit = %d, want 1:\n%s", st.Implicit, f)
+	}
+	if got := checksInBlock(pos); got != 0 {
+		t.Fatalf("dereferencing path still has %d explicit checks:\n%s", got, f)
+	}
+	if got := checksInBlock(neg); got != 1 {
+		t.Fatalf("non-dereferencing path has %d checks, want 1:\n%s", got, f)
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+}
+
+// TestPhase2BigOffsetStaysExplicit: Figure 5(1) — an access beyond the trap
+// area cannot rely on the trap.
+func TestPhase2BigOffsetStaysExplicit(t *testing.T) {
+	p := ir.NewProgram("t")
+	m := arch.IA32Win()
+	c := p.NewClass("Big",
+		&ir.Field{Name: "near", Kind: ir.KindInt},
+		&ir.Field{Name: "far", Kind: ir.KindInt, Offset: int32(m.TrapAreaBytes) + 8},
+	)
+	b := ir.NewFunc("big", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("far"))
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	st := Phase2(f, m)
+	if st.Implicit != 0 {
+		t.Fatalf("big-offset access became implicit:\n%s", f)
+	}
+	if countChecks(f) != 1 {
+		t.Fatalf("explicit check missing:\n%s", f)
+	}
+	// The check must precede the access.
+	for _, in := range f.Entry.Instrs {
+		if in.Op == ir.OpGetField {
+			t.Fatalf("getfield before check:\n%s", f)
+		}
+		if in.Op == ir.OpNullCheck {
+			break
+		}
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+}
+
+// TestPhase2AIXReadStaysExplicitWriteImplicit: Figure 5(2) — on a
+// write-only-trap OS, reads need explicit checks but writes convert.
+func TestPhase2AIXReadStaysExplicitWriteImplicit(t *testing.T) {
+	_, c := testClass()
+	m := arch.PPCAIX()
+
+	// Read case.
+	b := ir.NewFunc("aixread", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+	fr := b.Finish()
+	st := Phase2(fr, m)
+	if st.Implicit != 0 || countChecks(fr) != 1 {
+		t.Fatalf("read: implicit=%d checks=%d, want 0/1:\n%s", st.Implicit, countChecks(fr), fr)
+	}
+	if err := CheckGuards(fr, m); err != nil {
+		t.Fatalf("read guard check: %v", err)
+	}
+
+	// Write case.
+	b2 := ir.NewFunc("aixwrite", false)
+	a2 := b2.Param("b", ir.KindRef)
+	b2.Block("entry")
+	b2.PutField(a2, c.FieldByName("f"), ir.ConstInt(7))
+	b2.ReturnVoid()
+	fw := b2.Finish()
+	st = Phase2(fw, m)
+	if st.Implicit != 1 || countChecks(fw) != 0 {
+		t.Fatalf("write: implicit=%d checks=%d, want 1/0:\n%s", st.Implicit, countChecks(fw), fw)
+	}
+	if err := CheckGuards(fw, m); err != nil {
+		t.Fatalf("write guard check: %v", err)
+	}
+}
+
+// TestPhase2BarrierFlush: a check that cannot cross a memory write is
+// emitted explicitly before it, even when a trapping dereference follows.
+func TestPhase2BarrierFlush(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("flush", false)
+	a := b.Param("a", ir.KindRef)
+	g := b.Param("g", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	// Original order: check a, then store through g, then load a.f.
+	b.NullCheck(a, ir.ReasonField)
+	b.PutField(g, c.FieldByName("f"), ir.ConstInt(1))
+	t1 := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: t1, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	Phase2(f, m)
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+	// a's check must still precede the putfield: precise exceptions demand
+	// the NPE fire before the store becomes visible.
+	idxCheckA, idxStore := -1, -1
+	for i, in := range f.Entry.Instrs {
+		if in.Op == ir.OpNullCheck && in.NullCheckVar() == a {
+			idxCheckA = i
+		}
+		if in.Op == ir.OpPutField {
+			idxStore = i
+		}
+	}
+	if idxCheckA == -1 {
+		t.Fatalf("a's check disappeared:\n%s", f)
+	}
+	if idxCheckA > idxStore {
+		t.Fatalf("a's check moved past the memory write:\n%s", f)
+	}
+}
+
+// TestPhase2SubstitutableAcrossMerge: a check forced out at a path exit is
+// removed when every successor path re-checks (or traps on) the variable.
+func TestPhase2SubstitutableAcrossMerge(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("subst", false)
+	a := b.Param("a", ir.KindRef)
+	i := b.Param("i", ir.KindInt)
+	b.Result(ir.KindInt)
+
+	entry := b.Block("entry")
+	left := b.DeclareBlock("left")
+	right := b.DeclareBlock("right")
+	merge := b.DeclareBlock("merge")
+
+	b.SetBlock(entry)
+	b.NullCheck(a, ir.ReasonInlined)
+	b.If(ir.CondLT, ir.Var(i), ir.ConstInt(0), left, right)
+
+	b.SetBlock(left)
+	t1 := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: t1, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Jump(merge)
+
+	b.SetBlock(right)
+	b.Jump(merge)
+
+	b.SetBlock(merge)
+	t2 := b.Temp(ir.KindInt)
+	// The merge dereferences a again (own check from the builder).
+	b.GetField(t2, a, c.FieldByName("g"))
+	b.Return(ir.Var(t2))
+
+	f := b.Finish()
+	m := arch.IA32Win()
+	Phase2(f, m)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+	// Every path dereferences a at the merge, so no explicit check should
+	// survive anywhere: left traps at a.f, right's pending check is
+	// substitutable by the merge's trap at a.g.
+	if got := countChecks(f); got != 0 {
+		t.Fatalf("%d explicit checks remain, want 0:\n%s", got, f)
+	}
+	if got := countImplicit(f); got != 2 {
+		t.Fatalf("%d implicit sites, want 2:\n%s", got, f)
+	}
+}
+
+// TestPhase2OverwriteForcesCheck: a check must materialize before its
+// variable is overwritten.
+func TestPhase2OverwriteForcesCheck(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("ow", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	b.NullCheck(a, ir.ReasonInlined)
+	b.New(a, c) // overwrites a; the check must fire before this
+	t1 := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: t1, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	Phase2(f, m)
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+	// One explicit check before the new.
+	sawNew := false
+	sawCheck := false
+	for _, in := range f.Entry.Instrs {
+		if in.Op == ir.OpNew {
+			sawNew = true
+		}
+		if in.Op == ir.OpNullCheck {
+			if sawNew {
+				t.Fatalf("check after overwrite:\n%s", f)
+			}
+			sawCheck = true
+		}
+	}
+	if !sawCheck {
+		t.Fatalf("check eliminated around overwrite:\n%s", f)
+	}
+}
+
+// TestPhase2VirtualCallDispatchTrap: on a read-trapping machine the receiver
+// check folds into the dispatch load; on AIX it stays explicit.
+func TestPhase2VirtualCallDispatchTrap(t *testing.T) {
+	p, c := testClass()
+	cb := ir.NewFunc("callee", true)
+	cb.Param("this", ir.KindRef)
+	cb.Result(ir.KindInt)
+	cb.Block("entry")
+	cb.Return(ir.ConstInt(1))
+	m := p.AddMethod(c, "m", cb.Finish(), true)
+
+	build := func() *ir.Func {
+		b := ir.NewFunc("caller", false)
+		a := b.Param("a", ir.KindRef)
+		b.Result(ir.KindInt)
+		b.Block("entry")
+		t1 := b.Temp(ir.KindInt)
+		b.CallVirtual(t1, m, a)
+		b.Return(ir.Var(t1))
+		return b.Finish()
+	}
+
+	fIA := build()
+	st := Phase2(fIA, arch.IA32Win())
+	if st.Implicit != 1 || countChecks(fIA) != 0 {
+		t.Fatalf("ia32: implicit=%d explicit=%d, want 1/0:\n%s", st.Implicit, countChecks(fIA), fIA)
+	}
+
+	fAIX := build()
+	st = Phase2(fAIX, arch.PPCAIX())
+	if st.Implicit != 0 || countChecks(fAIX) != 1 {
+		t.Fatalf("aix: implicit=%d explicit=%d, want 0/1:\n%s", st.Implicit, countChecks(fAIX), fAIX)
+	}
+}
+
+// TestFoldAdjacentTraps: the baseline lowering folds only immediately
+// adjacent check/dereference pairs.
+func TestFoldAdjacentTraps(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("fold", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f")) // adjacent: folds
+	b.NullCheck(a, ir.ReasonInlined)      // not followed by a's deref: stays
+	t2 := b.Temp(ir.KindInt)
+	b.Binop(ir.OpAdd, t2, ir.Var(t1), ir.ConstInt(1))
+	b.Return(ir.Var(t2))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	folded := FoldAdjacentTraps(f, m)
+	if folded != 1 {
+		t.Fatalf("folded = %d, want 1:\n%s", folded, f)
+	}
+	if countChecks(f) != 1 {
+		t.Fatalf("checks = %d, want 1:\n%s", countChecks(f), f)
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+}
+
+// TestCheckerCatchesUnguardedDeref: the safety net actually trips.
+func TestCheckerCatchesUnguardedDeref(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("bad", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	// Raw emission: no check at all.
+	b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: t1, Field: c.FieldByName("f"), Args: []ir.Operand{ir.Var(a)}})
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	if err := CheckGuards(f, arch.IA32Win()); err == nil {
+		t.Fatal("checker accepted an unguarded dereference")
+	}
+}
+
+// TestCheckerRejectsIllegalImplicitOnAIX: an exception-site mark on a read
+// is not a guarantee on a write-only-trap machine.
+func TestCheckerRejectsIllegalImplicitOnAIX(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("illegal", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Return(ir.Var(t1))
+	f := b.Finish()
+
+	// Run the Intel-assumption phase 2, then check against the AIX model:
+	// this is exactly the paper's "Illegal Implicit" configuration.
+	Phase2(f, arch.IA32Win())
+	if err := CheckGuards(f, arch.IA32Win()); err != nil {
+		t.Fatalf("legal on ia32: %v", err)
+	}
+	if err := CheckGuards(f, arch.PPCAIX()); err == nil {
+		t.Fatal("checker accepted illegal implicit read check on AIX")
+	}
+}
+
+// TestPhase2AfterPhase1LoopBecomesFree: the full pipeline on the Figure 4
+// loop — after phase 1 hoists the check, phase 2 should make the remaining
+// dereference sequence free inside the loop.
+func TestPhase2AfterPhase1LoopBecomesFree(t *testing.T) {
+	_, c := testClass()
+	b := ir.NewFunc("full", false)
+	a := b.Param("a", ir.KindRef)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	entry := b.Block("entry")
+	body := b.DeclareBlock("body")
+	exit := b.DeclareBlock("exit")
+
+	b.SetBlock(entry)
+	b.Move(i, ir.ConstInt(0))
+	b.Move(s, ir.ConstInt(0))
+	b.Jump(body)
+	b.SetBlock(body)
+	t1 := b.Temp(ir.KindInt)
+	b.GetField(t1, a, c.FieldByName("f"))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(t1))
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	f := b.Finish()
+
+	m := arch.IA32Win()
+	Phase1(f)
+	Phase2(f, m)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if err := CheckGuards(f, m); err != nil {
+		t.Fatalf("guard check failed: %v", err)
+	}
+	if got := checksInBlock(body); got != 0 {
+		t.Fatalf("loop body still pays for %d explicit checks:\n%s", got, f)
+	}
+}

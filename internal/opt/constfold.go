@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"math"
+
+	"trapnull/internal/ir"
+)
+
+// ConstFold evaluates instructions whose operands are all constants and
+// rewrites them to moves, and simplifies the algebraic identities that the
+// other passes expose (x*0, x+0, x&0, 0/x-safe cases). It never touches
+// anything that can fault: constant division stays put unless the divisor is
+// a non-zero constant, and memory operations are never folded. Returns the
+// number of instructions rewritten.
+func ConstFold(f *ir.Func) int {
+	folded := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if rewriteConst(in) {
+				folded++
+			}
+		}
+	}
+	return folded
+}
+
+func intConst(o ir.Operand) (int64, bool) {
+	if o.Kind == ir.OperConstInt {
+		return o.Int, true
+	}
+	return 0, false
+}
+
+func floatConst(o ir.Operand) (float64, bool) {
+	if o.Kind == ir.OperConstFloat {
+		return o.Float, true
+	}
+	return 0, false
+}
+
+// toMoveInt rewrites in into `dst = move <c>`.
+func toMoveInt(in *ir.Instr, c int64) {
+	in.Op = ir.OpMove
+	in.Args = []ir.Operand{ir.ConstInt(c)}
+}
+
+func toMoveFloat(in *ir.Instr, c float64) {
+	in.Op = ir.OpMove
+	in.Args = []ir.Operand{ir.ConstFloat(c)}
+}
+
+// toMoveOperand rewrites in into `dst = move <o>`.
+func toMoveOperand(in *ir.Instr, o ir.Operand) {
+	in.Op = ir.OpMove
+	in.Args = []ir.Operand{o}
+}
+
+func rewriteConst(in *ir.Instr) bool {
+	if !in.HasDst() {
+		return false
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		a, aok := intConst(in.Args[0])
+		bb, bok := intConst(in.Args[1])
+		switch {
+		case aok && bok:
+			toMoveInt(in, evalInt(in.Op, a, bb))
+			return true
+		case in.Op == ir.OpMul && ((aok && a == 0) || (bok && bb == 0)):
+			toMoveInt(in, 0)
+			return true
+		case in.Op == ir.OpMul && aok && a == 1:
+			toMoveOperand(in, in.Args[1])
+			return true
+		case in.Op == ir.OpMul && bok && bb == 1:
+			toMoveOperand(in, in.Args[0])
+			return true
+		case in.Op == ir.OpAdd && aok && a == 0:
+			toMoveOperand(in, in.Args[1])
+			return true
+		case (in.Op == ir.OpAdd || in.Op == ir.OpSub || in.Op == ir.OpOr ||
+			in.Op == ir.OpXor || in.Op == ir.OpShl || in.Op == ir.OpShr) && bok && bb == 0:
+			toMoveOperand(in, in.Args[0])
+			return true
+		case in.Op == ir.OpAnd && ((aok && a == 0) || (bok && bb == 0)):
+			toMoveInt(in, 0)
+			return true
+		}
+	case ir.OpDiv, ir.OpRem:
+		a, aok := intConst(in.Args[0])
+		bb, bok := intConst(in.Args[1])
+		if aok && bok && bb != 0 {
+			if in.Op == ir.OpDiv {
+				toMoveInt(in, a/bb)
+			} else {
+				toMoveInt(in, a%bb)
+			}
+			return true
+		}
+	case ir.OpNeg:
+		if a, ok := intConst(in.Args[0]); ok {
+			toMoveInt(in, -a)
+			return true
+		}
+	case ir.OpNot:
+		if a, ok := intConst(in.Args[0]); ok {
+			toMoveInt(in, ^a)
+			return true
+		}
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a, aok := floatConst(in.Args[0])
+		bb, bok := floatConst(in.Args[1])
+		if aok && bok {
+			toMoveFloat(in, evalFloat(in.Op, a, bb))
+			return true
+		}
+	case ir.OpFNeg:
+		if a, ok := floatConst(in.Args[0]); ok {
+			toMoveFloat(in, -a)
+			return true
+		}
+	case ir.OpIntToFloat:
+		if a, ok := intConst(in.Args[0]); ok {
+			toMoveFloat(in, float64(a))
+			return true
+		}
+	case ir.OpFloatToInt:
+		if a, ok := floatConst(in.Args[0]); ok && !math.IsNaN(a) && !math.IsInf(a, 0) {
+			toMoveInt(in, int64(a))
+			return true
+		}
+	case ir.OpCmp:
+		a, aok := intConst(in.Args[0])
+		bb, bok := intConst(in.Args[1])
+		if aok && bok {
+			if evalCond(in.Cond, a, bb) {
+				toMoveInt(in, 1)
+			} else {
+				toMoveInt(in, 0)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func evalInt(op ir.Op, a, b int64) int64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (uint64(b) & 63)
+	case ir.OpShr:
+		return a >> (uint64(b) & 63)
+	}
+	return 0
+}
+
+func evalFloat(op ir.Op, a, b float64) float64 {
+	switch op {
+	case ir.OpFAdd:
+		return a + b
+	case ir.OpFSub:
+		return a - b
+	case ir.OpFMul:
+		return a * b
+	case ir.OpFDiv:
+		return a / b
+	}
+	return 0
+}
+
+func evalCond(c ir.Cond, a, b int64) bool {
+	switch c {
+	case ir.CondEQ:
+		return a == b
+	case ir.CondNE:
+		return a != b
+	case ir.CondLT:
+		return a < b
+	case ir.CondLE:
+		return a <= b
+	case ir.CondGT:
+		return a > b
+	case ir.CondGE:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package opt
+
+import (
+	"testing"
+
+	"trapnull/internal/ir"
+)
+
+// foldOne builds `dst = <op>(a, b); return dst`, folds, and returns the
+// rewritten instruction.
+func foldOne(t *testing.T, op ir.Op, args ...ir.Operand) *ir.Instr {
+	t.Helper()
+	b := ir.NewFunc("cf", false)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	dst := b.Temp(ir.KindInt)
+	in := b.Emit(&ir.Instr{Op: op, Dst: dst, Args: args})
+	b.Return(ir.Var(dst))
+	f := b.Finish()
+	ConstFold(f)
+	return in
+}
+
+func wantMoveInt(t *testing.T, in *ir.Instr, c int64) {
+	t.Helper()
+	if in.Op != ir.OpMove || in.Args[0].Kind != ir.OperConstInt || in.Args[0].Int != c {
+		t.Fatalf("got %s, want move %d", in, c)
+	}
+}
+
+func TestConstFoldArithmetic(t *testing.T) {
+	wantMoveInt(t, foldOne(t, ir.OpAdd, ir.ConstInt(3), ir.ConstInt(4)), 7)
+	wantMoveInt(t, foldOne(t, ir.OpSub, ir.ConstInt(3), ir.ConstInt(4)), -1)
+	wantMoveInt(t, foldOne(t, ir.OpMul, ir.ConstInt(3), ir.ConstInt(4)), 12)
+	wantMoveInt(t, foldOne(t, ir.OpAnd, ir.ConstInt(6), ir.ConstInt(3)), 2)
+	wantMoveInt(t, foldOne(t, ir.OpOr, ir.ConstInt(6), ir.ConstInt(3)), 7)
+	wantMoveInt(t, foldOne(t, ir.OpXor, ir.ConstInt(6), ir.ConstInt(3)), 5)
+	wantMoveInt(t, foldOne(t, ir.OpShl, ir.ConstInt(1), ir.ConstInt(4)), 16)
+	wantMoveInt(t, foldOne(t, ir.OpShr, ir.ConstInt(16), ir.ConstInt(2)), 4)
+	wantMoveInt(t, foldOne(t, ir.OpDiv, ir.ConstInt(17), ir.ConstInt(5)), 3)
+	wantMoveInt(t, foldOne(t, ir.OpRem, ir.ConstInt(17), ir.ConstInt(5)), 2)
+	wantMoveInt(t, foldOne(t, ir.OpNeg, ir.ConstInt(9)), -9)
+	wantMoveInt(t, foldOne(t, ir.OpNot, ir.ConstInt(0)), -1)
+}
+
+func TestConstFoldShiftMaskMatchesMachine(t *testing.T) {
+	// 1 << 65 must fold to the same value the machine computes (mask 63).
+	wantMoveInt(t, foldOne(t, ir.OpShl, ir.ConstInt(1), ir.ConstInt(65)), 2)
+}
+
+func TestConstFoldDivByZeroKept(t *testing.T) {
+	in := foldOne(t, ir.OpDiv, ir.ConstInt(1), ir.ConstInt(0))
+	if in.Op != ir.OpDiv {
+		t.Fatalf("constant division by zero folded away: %s", in)
+	}
+}
+
+func TestConstFoldIdentities(t *testing.T) {
+	b := ir.NewFunc("ids", false)
+	x := b.Param("x", ir.KindInt)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	d1 := b.Temp(ir.KindInt)
+	mulZero := b.Emit(&ir.Instr{Op: ir.OpMul, Dst: d1, Args: []ir.Operand{ir.Var(x), ir.ConstInt(0)}})
+	d2 := b.Temp(ir.KindInt)
+	mulOne := b.Emit(&ir.Instr{Op: ir.OpMul, Dst: d2, Args: []ir.Operand{ir.Var(x), ir.ConstInt(1)}})
+	d3 := b.Temp(ir.KindInt)
+	addZero := b.Emit(&ir.Instr{Op: ir.OpAdd, Dst: d3, Args: []ir.Operand{ir.ConstInt(0), ir.Var(x)}})
+	d4 := b.Temp(ir.KindInt)
+	andZero := b.Emit(&ir.Instr{Op: ir.OpAnd, Dst: d4, Args: []ir.Operand{ir.Var(x), ir.ConstInt(0)}})
+	b.Return(ir.Var(d4))
+	f := b.Finish()
+	n := ConstFold(f)
+	if n != 4 {
+		t.Fatalf("folded %d, want 4", n)
+	}
+	wantMoveInt(t, mulZero, 0)
+	if mulOne.Op != ir.OpMove || !mulOne.Args[0].IsVar() || mulOne.Args[0].Var != x {
+		t.Fatalf("x*1: got %s, want move x", mulOne)
+	}
+	if addZero.Op != ir.OpMove || !addZero.Args[0].IsVar() || addZero.Args[0].Var != x {
+		t.Fatalf("0+x: got %s, want move x", addZero)
+	}
+	wantMoveInt(t, andZero, 0)
+}
+
+func TestConstFoldFloat(t *testing.T) {
+	b := ir.NewFunc("ff", false)
+	b.Result(ir.KindFloat)
+	b.Block("entry")
+	d := b.Temp(ir.KindFloat)
+	in := b.Emit(&ir.Instr{Op: ir.OpFMul, Dst: d, Args: []ir.Operand{ir.ConstFloat(2.5), ir.ConstFloat(4)}})
+	b.Return(ir.Var(d))
+	f := b.Finish()
+	ConstFold(f)
+	if in.Op != ir.OpMove || in.Args[0].Kind != ir.OperConstFloat || in.Args[0].Float != 10 {
+		t.Fatalf("got %s, want move 10.0", in)
+	}
+}
+
+func TestConstFoldConversionsAndCmp(t *testing.T) {
+	wantMoveInt(t, foldOne(t, ir.OpFloatToInt, ir.ConstFloat(3.9)), 3)
+
+	b := ir.NewFunc("cc", false)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	d := b.Temp(ir.KindInt)
+	cmp := b.Emit(&ir.Instr{Op: ir.OpCmp, Dst: d, Cond: ir.CondLT, Args: []ir.Operand{ir.ConstInt(2), ir.ConstInt(5)}})
+	b.Return(ir.Var(d))
+	f := b.Finish()
+	ConstFold(f)
+	wantMoveInt(t, cmp, 1)
+}
+
+func TestConstFoldLeavesVarsAlone(t *testing.T) {
+	b := ir.NewFunc("vars", false)
+	x := b.Param("x", ir.KindInt)
+	y := b.Param("y", ir.KindInt)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	d := b.Temp(ir.KindInt)
+	in := b.Emit(&ir.Instr{Op: ir.OpAdd, Dst: d, Args: []ir.Operand{ir.Var(x), ir.Var(y)}})
+	b.Return(ir.Var(d))
+	f := b.Finish()
+	if n := ConstFold(f); n != 0 {
+		t.Fatalf("folded %d variable-operand instructions", n)
+	}
+	if in.Op != ir.OpAdd {
+		t.Fatalf("instruction rewritten: %s", in)
+	}
+}
+
+func TestConstFoldAllFloatOpsAndConds(t *testing.T) {
+	// Exercise every float op and every comparison through folding.
+	fold := func(op ir.Op, a, b float64) float64 {
+		bld := ir.NewFunc("ff2", false)
+		bld.Result(ir.KindFloat)
+		bld.Block("entry")
+		d := bld.Temp(ir.KindFloat)
+		in := bld.Emit(&ir.Instr{Op: op, Dst: d, Args: []ir.Operand{ir.ConstFloat(a), ir.ConstFloat(b)}})
+		bld.Return(ir.Var(d))
+		f := bld.Finish()
+		ConstFold(f)
+		if in.Op != ir.OpMove {
+			t.Fatalf("%s not folded", op)
+		}
+		return in.Args[0].Float
+	}
+	if fold(ir.OpFAdd, 1, 2) != 3 || fold(ir.OpFSub, 5, 2) != 3 ||
+		fold(ir.OpFMul, 2, 3) != 6 || fold(ir.OpFDiv, 9, 3) != 3 {
+		t.Fatal("float fold values wrong")
+	}
+
+	foldCmp := func(c ir.Cond, a, b int64) int64 {
+		bld := ir.NewFunc("cc2", false)
+		bld.Result(ir.KindInt)
+		bld.Block("entry")
+		d := bld.Temp(ir.KindInt)
+		in := bld.Emit(&ir.Instr{Op: ir.OpCmp, Dst: d, Cond: c, Args: []ir.Operand{ir.ConstInt(a), ir.ConstInt(b)}})
+		bld.Return(ir.Var(d))
+		f := bld.Finish()
+		ConstFold(f)
+		return in.Args[0].Int
+	}
+	type tc struct {
+		c    ir.Cond
+		a, b int64
+		want int64
+	}
+	for _, x := range []tc{
+		{ir.CondEQ, 1, 1, 1}, {ir.CondNE, 1, 1, 0}, {ir.CondLT, 1, 2, 1},
+		{ir.CondLE, 2, 2, 1}, {ir.CondGT, 1, 2, 0}, {ir.CondGE, 3, 2, 1},
+	} {
+		if got := foldCmp(x.c, x.a, x.b); got != x.want {
+			t.Fatalf("cmp %v %d,%d = %d want %d", x.c, x.a, x.b, got, x.want)
+		}
+	}
+}
+
+func TestConstFoldFNegAndI2F(t *testing.T) {
+	bld := ir.NewFunc("fneg", false)
+	bld.Result(ir.KindFloat)
+	bld.Block("entry")
+	d := bld.Temp(ir.KindFloat)
+	in := bld.Emit(&ir.Instr{Op: ir.OpFNeg, Dst: d, Args: []ir.Operand{ir.ConstFloat(2.5)}})
+	d2 := bld.Temp(ir.KindFloat)
+	in2 := bld.Emit(&ir.Instr{Op: ir.OpIntToFloat, Dst: d2, Args: []ir.Operand{ir.ConstInt(4)}})
+	bld.Return(ir.Var(d2))
+	f := bld.Finish()
+	ConstFold(f)
+	if in.Op != ir.OpMove || in.Args[0].Float != -2.5 {
+		t.Fatalf("fneg fold: %s", in)
+	}
+	if in2.Op != ir.OpMove || in2.Args[0].Float != 4 {
+		t.Fatalf("i2f fold: %s", in2)
+	}
+}

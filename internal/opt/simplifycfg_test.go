@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"testing"
+
+	"trapnull/internal/ir"
+)
+
+func TestSimplifyCFGThreadsEmptyJumpBlocks(t *testing.T) {
+	b := ir.NewFunc("thread", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	mid := b.DeclareBlock("mid") // only a jump
+	tgt := b.DeclareBlock("tgt")
+	other := b.DeclareBlock("other")
+	b.SetBlock(entry)
+	b.If(ir.CondLT, ir.Var(n), ir.ConstInt(0), mid, other)
+	b.SetBlock(mid)
+	b.Jump(tgt)
+	b.SetBlock(tgt)
+	b.Return(ir.ConstInt(1))
+	b.SetBlock(other)
+	b.Return(ir.ConstInt(2))
+	f := b.Finish()
+
+	SimplifyCFG(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// entry's then-target is tgt directly; mid is gone.
+	if got := entry.Terminator().Targets[0]; got.Name != "tgt" {
+		t.Fatalf("then-target = %s, want tgt", got)
+	}
+	for _, blk := range f.Blocks {
+		if blk.Name == "mid" {
+			t.Fatalf("empty jump block survived:\n%s", f)
+		}
+	}
+}
+
+func TestSimplifyCFGThreadsChains(t *testing.T) {
+	b := ir.NewFunc("chain", false)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	m1 := b.DeclareBlock("m1")
+	m2 := b.DeclareBlock("m2")
+	end := b.DeclareBlock("end")
+	b.SetBlock(entry)
+	b.Jump(m1)
+	b.SetBlock(m1)
+	b.Jump(m2)
+	b.SetBlock(m2)
+	b.Jump(end)
+	b.SetBlock(end)
+	b.Return(ir.ConstInt(7))
+	f := b.Finish()
+
+	SimplifyCFG(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// Everything merges into one block.
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1:\n%s", len(f.Blocks), f)
+	}
+}
+
+func TestSimplifyCFGMergesStraightLine(t *testing.T) {
+	b := ir.NewFunc("merge", false)
+	x := b.Param("x", ir.KindInt)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	next := b.DeclareBlock("next")
+	b.SetBlock(entry)
+	v := b.Temp(ir.KindInt)
+	b.Binop(ir.OpAdd, v, ir.Var(x), ir.ConstInt(1))
+	b.Jump(next)
+	b.SetBlock(next)
+	w := b.Temp(ir.KindInt)
+	b.Binop(ir.OpMul, w, ir.Var(v), ir.ConstInt(2))
+	b.Return(ir.Var(w))
+	f := b.Finish()
+
+	SimplifyCFG(f)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(f.Blocks))
+	}
+	if entry.Instrs[len(entry.Instrs)-1].Op != ir.OpReturn {
+		t.Fatalf("merged block does not end in return:\n%s", f)
+	}
+}
+
+func TestSimplifyCFGKeepsHandlers(t *testing.T) {
+	b := ir.NewFunc("keephandler", false)
+	a := b.Param("a", ir.KindRef)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	handler := b.DeclareBlock("handler")
+	exc := b.Local("exc", ir.KindRef)
+	b.SetBlock(entry)
+	v := b.Temp(ir.KindInt)
+	b.Emit(&ir.Instr{Op: ir.OpDiv, Dst: v, Args: []ir.Operand{ir.ConstInt(1), ir.ConstInt(0)}})
+	_ = a
+	b.Return(ir.Var(v))
+	b.SetBlock(handler)
+	b.Return(ir.ConstInt(-1))
+	f := b.F
+	region := f.NewRegion(handler, exc)
+	entry.Try = region.ID
+	f.RecomputeEdges()
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+
+	SimplifyCFG(f)
+	found := false
+	for _, blk := range f.Blocks {
+		if blk == f.Regions[0].Handler {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("handler removed:\n%s", f)
+	}
+}
+
+func TestSimplifyCFGDoesNotMergeAcrossTryBoundary(t *testing.T) {
+	b := ir.NewFunc("tryedge", false)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	inTry := b.DeclareBlock("intry")
+	handler := b.DeclareBlock("handler")
+	exc := b.Local("exc", ir.KindRef)
+	b.SetBlock(entry)
+	x := b.Temp(ir.KindInt)
+	b.Move(x, ir.ConstInt(1))
+	b.Jump(inTry)
+	b.SetBlock(inTry)
+	y := b.Temp(ir.KindInt)
+	b.Binop(ir.OpDiv, y, ir.ConstInt(1), ir.Var(x))
+	b.Return(ir.Var(y))
+	b.SetBlock(handler)
+	b.Return(ir.ConstInt(-1))
+	f := b.F
+	region := f.NewRegion(handler, exc)
+	inTry.Try = region.ID
+	f.RecomputeEdges()
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+
+	SimplifyCFG(f)
+	// entry (no region) and inTry (region 0) must stay separate.
+	for _, blk := range f.Blocks {
+		if blk.Name == "entry" {
+			if blk.Terminator().Op != ir.OpJump {
+				t.Fatalf("entry merged across try boundary:\n%s", f)
+			}
+		}
+	}
+}
+
+func TestSimplifyCFGSelfLoopUntouched(t *testing.T) {
+	b := ir.NewFunc("selfloop", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	loop := b.DeclareBlock("loop")
+	exit := b.DeclareBlock("exit")
+	i := b.Local("i", ir.KindInt)
+	b.SetBlock(entry)
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), loop, exit)
+	b.SetBlock(exit)
+	b.Return(ir.Var(i))
+	f := b.Finish()
+
+	SimplifyCFG(f)
+	if err := ir.Validate(f); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// The loop must still loop.
+	if f.CountOp(ir.OpIf) != 1 {
+		t.Fatalf("loop branch disappeared:\n%s", f)
+	}
+}

@@ -1,0 +1,174 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// The workloads in this file are extensions beyond the paper's benchmark
+// set, used by the ablation experiments (internal/bench/ablation.go). They
+// are intentionally NOT part of All(): the paper's tables are regenerated
+// from the original seventeen only.
+
+// NullStorm stresses the implicit-check trade-off the paper leaves
+// implicit: a hardware trap is far more expensive than a software check
+// when it actually fires. The kernel dereferences a reference that is null
+// for `n` out of every 1000 iterations inside a try/catch; as the null rate
+// rises, configurations that rely on traps pay the OS dispatch cost per
+// occurrence while explicit checks pay a cheap software throw.
+//
+// The parameter is the null rate in per-mille (0..1000), not a problem size.
+func NullStorm() *Workload {
+	return &Workload{
+		Name:  "NullStorm",
+		Suite: "extension",
+		N:     200, // 20% nulls
+		TestN: 100,
+		Build: buildNullStorm,
+		Ref:   refNullStorm,
+	}
+}
+
+const nullStormIters = 2000
+
+func buildNullStorm() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("NullStorm")
+	cls := p.NewClass("Cell", &ir.Field{Name: "f", Kind: ir.KindInt})
+
+	b, rate := entry("NullStorm")
+	obj := b.Local("obj", ir.KindRef)
+	ref := b.Local("ref", ir.KindRef)
+	r := b.Local("r", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	exc := b.Local("exc", ir.KindRef)
+
+	b.New(obj, cls)
+	b.PutField(obj, cls.FieldByName("f"), ir.ConstInt(7))
+	b.Move(r, ir.ConstInt(777))
+	b.Move(s, ir.ConstInt(0))
+
+	f := b.F
+	// Loop structure with an in-loop try region: guard; body picks the
+	// reference; a try block dereferences it; the handler counts the NPE.
+	body := b.DeclareBlock("body")
+	tryBlk := b.DeclareBlock("deref")
+	handler := b.DeclareBlock("handler")
+	after := b.DeclareBlock("after")
+	exit := b.DeclareBlock("exit")
+	region := f.NewRegion(handler, exc)
+	tryBlk.Try = region.ID
+
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	lcgNext(b, r)
+	t := b.Temp(ir.KindInt)
+	b.Binop(ir.OpRem, t, ir.Var(r), ir.ConstInt(1000))
+	pickNull := b.DeclareBlock("pick_null")
+	pickObj := b.DeclareBlock("pick_obj")
+	b.If(ir.CondLT, ir.Var(t), ir.Var(rate), pickNull, pickObj)
+	b.SetBlock(pickNull)
+	b.Move(ref, ir.Null())
+	b.Jump(tryBlk)
+	b.SetBlock(pickObj)
+	b.Move(ref, ir.Var(obj))
+	b.Jump(tryBlk)
+
+	b.SetBlock(tryBlk)
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, ref, cls.FieldByName("f"))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(v))
+	b.Jump(after)
+
+	b.SetBlock(handler)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(1))
+	b.Jump(after)
+
+	b.SetBlock(after)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.ConstInt(nullStormIters), body, exit)
+
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refNullStorm(rate int64) int64 {
+	r := int64(777)
+	s := int64(0)
+	for i := 0; i < nullStormIters; i++ {
+		r = lcgNextGo(r)
+		if r%1000 < rate {
+			s++ // handler path
+		} else {
+			s += 7
+		}
+	}
+	return s
+}
+
+// BigOffsetWalk exercises the Figure 5(1) boundary: a field whose offset
+// lies beyond the protected trap area can never use an implicit check. The
+// ablation runs it against models with different TrapAreaBytes to show the
+// check disappearing once the protected region covers the offset.
+func BigOffsetWalk() *Workload {
+	return &Workload{
+		Name:  "BigOffsetWalk",
+		Suite: "extension",
+		N:     4000,
+		TestN: 128,
+		Build: buildBigOffsetWalk,
+		Ref:   refBigOffsetWalk,
+	}
+}
+
+// bigOffset is past a 4 KB page but inside a 512 KB protected region.
+const bigOffset = 64 * 1024
+
+func buildBigOffsetWalk() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("BigOffsetWalk")
+	cls := p.NewClass("Wide",
+		&ir.Field{Name: "near", Kind: ir.KindInt},
+		&ir.Field{Name: "far", Kind: ir.KindInt, Offset: bigOffset},
+	)
+
+	b, n := entry("BigOffsetWalk")
+	holder := b.Local("holder", ir.KindRef)
+	o := b.Local("o", ir.KindRef)
+	wr := b.Local("wr", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	// Both objects come from a holder so nothing is statically non-null.
+	// The loop writes a field of one object first (the Figure 6 barrier),
+	// then reads the far field of the other: that read is the only
+	// dereference of `o`, so its check can neither be eliminated nor moved
+	// backward — it either converts to a trap or stays explicit, which is
+	// exactly the Figure 5(1) decision under ablation.
+	b.NewArray(holder, ir.ConstInt(2))
+	tmp := b.Temp(ir.KindRef)
+	b.New(tmp, cls)
+	b.PutField(tmp, cls.FieldByName("far"), ir.ConstInt(11))
+	b.ArrayStore(holder, ir.ConstInt(0), ir.Var(tmp))
+	tmp2 := b.Temp(ir.KindRef)
+	b.New(tmp2, cls)
+	b.ArrayStore(holder, ir.ConstInt(1), ir.Var(tmp2))
+	b.ArrayLoad(o, holder, ir.ConstInt(0))
+	b.ArrayLoad(wr, holder, ir.ConstInt(1))
+
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		b.PutField(wr, cls.FieldByName("near"), ir.Var(i))
+		v := b.Temp(ir.KindInt)
+		b.Emit(&ir.Instr{Op: ir.OpNullCheck, Dst: ir.NoVar,
+			Args: []ir.Operand{ir.Var(o)}, Reason: ir.ReasonField, Explicit: true})
+		b.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: cls.FieldByName("far"),
+			Args: []ir.Operand{ir.Var(o)}})
+		b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(v))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refBigOffsetWalk(n int64) int64 {
+	return 11 * n
+}

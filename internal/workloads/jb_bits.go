@@ -1,0 +1,206 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// Bitfield mirrors jBYTEmark's Bitfield kernel: random set/clear/toggle
+// operations over a bitmap array. Each operation is only a few ALU cycles
+// around one load and one store, so the relative cost of explicit null
+// checks is high — the kernel where the paper's hardware trap alone already
+// pays (Table 1: 227.85 → 245.13).
+func Bitfield() *Workload {
+	return &Workload{
+		Name:  "Bitfield",
+		Suite: "jBYTEmark",
+		N:     30000,
+		TestN: 512,
+		Build: buildBitfield,
+		Ref:   refBitfield,
+	}
+}
+
+func buildBitfield() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Bitfield")
+	b, n := entry("Bitfield")
+
+	words := b.Local("words", ir.KindRef)
+	nw := b.Local("nw", ir.KindInt)
+	bits := b.Local("bits", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	b.Binop(ir.OpDiv, nw, ir.Var(n), ir.ConstInt(64))
+	b.Binop(ir.OpAdd, nw, ir.Var(nw), ir.ConstInt(1))
+	b.NewArray(words, ir.Var(nw))
+	b.Binop(ir.OpMul, bits, ir.Var(nw), ir.ConstInt(64))
+	b.Move(r, ir.ConstInt(555))
+
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		bit := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, bit, ir.Var(r), ir.Var(bits))
+		idx := b.Temp(ir.KindInt)
+		b.Binop(ir.OpShr, idx, ir.Var(bit), ir.ConstInt(6))
+		sh := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, sh, ir.Var(bit), ir.ConstInt(63))
+		mask := b.Temp(ir.KindInt)
+		b.Binop(ir.OpShl, mask, ir.ConstInt(1), ir.Var(sh))
+		op := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, op, ir.Var(r), ir.ConstInt(3))
+		w := b.Local("w", ir.KindInt)
+		b.ArrayLoad(w, words, ir.Var(idx))
+		ifThenElse(b, ir.CondEQ, ir.Var(op), ir.ConstInt(0),
+			func() { b.Binop(ir.OpOr, w, ir.Var(w), ir.Var(mask)) },
+			func() {
+				ifThenElse(b, ir.CondEQ, ir.Var(op), ir.ConstInt(1),
+					func() {
+						nm := b.Temp(ir.KindInt)
+						b.Unop(ir.OpNot, nm, ir.Var(mask))
+						b.Binop(ir.OpAnd, w, ir.Var(w), ir.Var(nm))
+					},
+					func() { b.Binop(ir.OpXor, w, ir.Var(w), ir.Var(mask)) })
+			})
+		b.ArrayStore(words, ir.Var(idx), ir.Var(w))
+	})
+
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(nw), func() {
+		w := b.Temp(ir.KindInt)
+		b.ArrayLoad(w, words, ir.Var(i))
+		mix(b, s, ir.Var(w))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refBitfield(n int64) int64 {
+	nw := n/64 + 1
+	words := make([]int64, nw)
+	bits := nw * 64
+	r := int64(555)
+	for i := int64(0); i < n; i++ {
+		r = lcgNextGo(r)
+		bit := r % bits
+		idx := bit >> 6
+		mask := int64(1) << uint(bit&63)
+		switch r % 3 {
+		case 0:
+			words[idx] |= mask
+		case 1:
+			words[idx] &= ^mask
+		default:
+			words[idx] ^= mask
+		}
+	}
+	s := int64(0)
+	for _, w := range words {
+		s = mixGo(s, w)
+	}
+	return s
+}
+
+// FPEmulation mirrors jBYTEmark's FP Emulation kernel: software multi-word
+// arithmetic over accumulator objects. The hot loop has the Figure 6 shape —
+// a memory write at the top of the body followed by field reads — so the
+// read checks cannot move backward past the store. Phase 2 makes them free
+// on trap-on-read machines, and on AIX only speculation can hoist the loads
+// (§3.3.1, §5.4).
+func FPEmulation() *Workload {
+	return &Workload{
+		Name:  "FPEmulation",
+		Suite: "jBYTEmark",
+		N:     12000,
+		TestN: 256,
+		Build: buildFPEmulation,
+		Ref:   refFPEmulation,
+	}
+}
+
+func buildFPEmulation() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("FPEmulation")
+	fp := p.NewClass("FP",
+		&ir.Field{Name: "hi", Kind: ir.KindInt},
+		&ir.Field{Name: "lo", Kind: ir.KindInt},
+	)
+	hiF, loF := fp.FieldByName("hi"), fp.FieldByName("lo")
+	const maskC = int64(0xffffffff)
+
+	b, n := entry("FPEmulation")
+	cells := b.Local("cells", ir.KindRef)
+	acc := b.Local("acc", ir.KindRef)
+	karr := b.Local("karr", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	vlo := b.Local("vlo", ir.KindInt)
+	vhi := b.Local("vhi", ir.KindInt)
+
+	// The accumulator object and coefficient array live in a holder array,
+	// so the optimizer cannot prove them non-null from an allocation in
+	// scope — the situation of operands handed to a method from the heap.
+	b.NewArray(cells, ir.ConstInt(2))
+	t0 := b.Temp(ir.KindRef)
+	b.New(t0, fp)
+	b.ArrayStore(cells, ir.ConstInt(0), ir.Var(t0))
+	t1 := b.Temp(ir.KindRef)
+	b.NewArray(t1, ir.ConstInt(2))
+	b.ArrayStore(t1, ir.ConstInt(0), ir.ConstInt(3))
+	b.ArrayStore(t1, ir.ConstInt(1), ir.ConstInt(5))
+	b.ArrayStore(cells, ir.ConstInt(1), ir.Var(t1))
+	b.ArrayLoad(acc, cells, ir.ConstInt(0))
+	b.ArrayLoad(karr, cells, ir.ConstInt(1))
+
+	b.Move(vlo, ir.ConstInt(1))
+	b.Move(vhi, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		// Write the running value back first (the Figure 6 barrier) ...
+		b.PutField(acc, loF, ir.Var(vlo))
+		b.PutField(acc, hiF, ir.Var(vhi))
+		// ... then read the coefficients; these checks are stuck below the
+		// stores unless the machine traps reads or speculation is legal
+		// (Figure 6: "arraylength b" moved across "nullcheck b").
+		klo := b.Temp(ir.KindInt)
+		b.ArrayLoad(klo, karr, ir.ConstInt(0))
+		khi := b.Temp(ir.KindInt)
+		b.ArrayLoad(khi, karr, ir.ConstInt(1))
+		// Multi-word update with carry.
+		lo := b.Temp(ir.KindInt)
+		b.Binop(ir.OpMul, lo, ir.Var(vlo), ir.Var(klo))
+		b.Binop(ir.OpAdd, lo, ir.Var(lo), ir.Var(i))
+		carry := b.Temp(ir.KindInt)
+		b.Binop(ir.OpShr, carry, ir.Var(lo), ir.ConstInt(32))
+		b.Binop(ir.OpAnd, vlo, ir.Var(lo), ir.ConstInt(maskC))
+		hi := b.Temp(ir.KindInt)
+		b.Binop(ir.OpMul, hi, ir.Var(vhi), ir.Var(khi))
+		b.Binop(ir.OpAdd, hi, ir.Var(hi), ir.Var(carry))
+		b.Binop(ir.OpAnd, vhi, ir.Var(hi), ir.ConstInt(maskC))
+	})
+
+	b.Move(s, ir.ConstInt(0))
+	flo := b.Temp(ir.KindInt)
+	fhi := b.Temp(ir.KindInt)
+	b.GetField(flo, acc, loF)
+	b.GetField(fhi, acc, hiF)
+	mix(b, s, ir.Var(flo))
+	mix(b, s, ir.Var(fhi))
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refFPEmulation(n int64) int64 {
+	const mask = int64(0xffffffff)
+	accLo, accHi := int64(0), int64(0)
+	klo, khi := int64(3), int64(5)
+	vlo, vhi := int64(1), int64(0)
+	for i := int64(0); i < n; i++ {
+		accLo = vlo
+		accHi = vhi
+		lo := vlo*klo + i
+		carry := lo >> 32
+		vlo = lo & mask
+		vhi = (vhi*khi + carry) & mask
+	}
+	s := int64(0)
+	s = mixGo(s, accLo)
+	s = mixGo(s, accHi)
+	return s
+}

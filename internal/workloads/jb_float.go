@@ -1,0 +1,234 @@
+package workloads
+
+import (
+	"math"
+
+	"trapnull/internal/ir"
+)
+
+// Fourier mirrors jBYTEmark's Fourier kernel: numerical integration of
+// series coefficients, dominated by transcendental math. The paper's Table 1
+// shows essentially no improvement from any null check configuration here
+// (22.68 → 22.75) — the math dwarfs the checks — and this kernel preserves
+// that property.
+func Fourier() *Workload {
+	return &Workload{
+		Name:  "Fourier",
+		Suite: "jBYTEmark",
+		N:     120,
+		TestN: 8,
+		Build: buildFourier,
+		Ref:   refFourier,
+	}
+}
+
+func buildFourier() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Fourier")
+	cosM := mathCosMethod(p)
+	sinM := mathSinMethod(p)
+
+	b, n := entry("Fourier")
+	k := b.Local("k", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	acoef := b.Local("acoef", ir.KindRef)
+	bcoef := b.Local("bcoef", ir.KindRef)
+	b.Move(s, ir.ConstInt(0))
+	// Coefficient arrays, as the original kernel fills (their checks exist
+	// but are noise next to the transcendental math — Table 1's flat row).
+	b.NewArray(acoef, ir.Var(n))
+	b.NewArray(bcoef, ir.Var(n))
+
+	forLoop(b, k, ir.ConstInt(0), ir.Var(n), func() {
+		a := b.Local("a", ir.KindFloat)
+		bsum := b.Local("bsum", ir.KindFloat)
+		b.Move(a, ir.ConstFloat(0))
+		b.Move(bsum, ir.ConstFloat(0))
+		kf := b.Temp(ir.KindFloat)
+		b.Unop(ir.OpIntToFloat, kf, ir.Var(k))
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(20), func() {
+			x := b.Temp(ir.KindFloat)
+			b.Unop(ir.OpIntToFloat, x, ir.Var(j))
+			b.Binop(ir.OpFMul, x, ir.Var(x), ir.ConstFloat(0.05))
+			kx := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFMul, kx, ir.Var(x), ir.Var(kf))
+			c := b.Temp(ir.KindFloat)
+			b.CallStatic(c, cosM, ir.Var(kx))
+			b.Binop(ir.OpFAdd, a, ir.Var(a), ir.Var(c))
+			sn := b.Temp(ir.KindFloat)
+			b.CallStatic(sn, sinM, ir.Var(kx))
+			b.Binop(ir.OpFAdd, bsum, ir.Var(bsum), ir.Var(sn))
+		})
+		b.ArrayStore(acoef, ir.Var(k), ir.Var(a))
+		b.ArrayStore(bcoef, ir.Var(k), ir.Var(bsum))
+	})
+	forLoop(b, k, ir.ConstInt(0), ir.Var(n), func() {
+		av := b.Temp(ir.KindFloat)
+		b.ArrayLoad(av, acoef, ir.Var(k))
+		sa := b.Temp(ir.KindInt)
+		scaleF(b, sa, ir.Var(av))
+		mix(b, s, ir.Var(sa))
+		bv := b.Temp(ir.KindFloat)
+		b.ArrayLoad(bv, bcoef, ir.Var(k))
+		sb2 := b.Temp(ir.KindInt)
+		scaleF(b, sb2, ir.Var(bv))
+		mix(b, s, ir.Var(sb2))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refFourier(n int64) int64 {
+	acoef := make([]float64, n)
+	bcoef := make([]float64, n)
+	for k := int64(0); k < n; k++ {
+		a, bsum := 0.0, 0.0
+		kf := float64(k)
+		for j := int64(0); j < 20; j++ {
+			x := float64(j) * 0.05
+			kx := x * kf
+			a += math.Cos(kx)
+			bsum += math.Sin(kx)
+		}
+		acoef[k] = a
+		bcoef[k] = bsum
+	}
+	s := int64(0)
+	for k := int64(0); k < n; k++ {
+		s = mixGo(s, scaleFGo(acoef[k]))
+		s = mixGo(s, scaleFGo(bcoef[k]))
+	}
+	return s
+}
+
+// NeuralNet mirrors jBYTEmark's Neural Net kernel: forward passes through a
+// small network with two-dimensional weight matrices and a sigmoid built on
+// Math.exp. The paper highlights two effects here: phase 1's iterated
+// optimization of the weight-matrix walks (Table 1: 116.81 → 200.50), and
+// the PowerPC handicap where Math.exp stays a call and blocks scalar
+// replacement (§5.4).
+func NeuralNet() *Workload {
+	return &Workload{
+		Name:  "NeuralNet",
+		Suite: "jBYTEmark",
+		N:     900,
+		TestN: 24,
+		Build: buildNeuralNet,
+		Ref:   refNeuralNet,
+	}
+}
+
+const nnSize = 8
+
+func buildNeuralNet() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("NeuralNet")
+	expM := mathExpMethod(p)
+
+	b, n := entry("NeuralNet")
+	w := b.Local("w", ir.KindRef)   // [nn][nn] weights, array of rows
+	in := b.Local("in", ir.KindRef) // input activations
+	hid := b.Local("hid", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	t := b.Local("t", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	// Build weights: w[i][j] = ((i*7 + j*3) % 10) * 0.1 - 0.4.
+	b.NewArray(w, ir.ConstInt(nnSize))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(nnSize), func() {
+		row := b.Temp(ir.KindRef)
+		b.NewArray(row, ir.ConstInt(nnSize))
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(nnSize), func() {
+			v := b.Temp(ir.KindInt)
+			b.Binop(ir.OpMul, v, ir.Var(i), ir.ConstInt(7))
+			v3 := b.Temp(ir.KindInt)
+			b.Binop(ir.OpMul, v3, ir.Var(j), ir.ConstInt(3))
+			b.Binop(ir.OpAdd, v, ir.Var(v), ir.Var(v3))
+			b.Binop(ir.OpRem, v, ir.Var(v), ir.ConstInt(10))
+			vf := b.Temp(ir.KindFloat)
+			b.Unop(ir.OpIntToFloat, vf, ir.Var(v))
+			b.Binop(ir.OpFMul, vf, ir.Var(vf), ir.ConstFloat(0.1))
+			b.Binop(ir.OpFSub, vf, ir.Var(vf), ir.ConstFloat(0.4))
+			b.ArrayStore(row, ir.Var(j), ir.Var(vf))
+		})
+		b.ArrayStore(w, ir.Var(i), ir.Var(row))
+	})
+	b.NewArray(in, ir.ConstInt(nnSize))
+	b.NewArray(hid, ir.ConstInt(nnSize))
+
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, t, ir.ConstInt(0), ir.Var(n), func() {
+		// Refresh inputs: in[j] = 0.1 * ((t + j) % 7).
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(nnSize), func() {
+			v := b.Temp(ir.KindInt)
+			b.Binop(ir.OpAdd, v, ir.Var(t), ir.Var(j))
+			b.Binop(ir.OpRem, v, ir.Var(v), ir.ConstInt(7))
+			vf := b.Temp(ir.KindFloat)
+			b.Unop(ir.OpIntToFloat, vf, ir.Var(v))
+			b.Binop(ir.OpFMul, vf, ir.Var(vf), ir.ConstFloat(0.1))
+			b.ArrayStore(in, ir.Var(j), ir.Var(vf))
+		})
+		// Forward pass: hid[i] = sigmoid(sum_j w[i][j] * in[j]).
+		forLoop(b, i, ir.ConstInt(0), ir.ConstInt(nnSize), func() {
+			sum := b.Local("sum", ir.KindFloat)
+			b.Move(sum, ir.ConstFloat(0))
+			row := b.Local("row", ir.KindRef)
+			b.ArrayLoad(row, w, ir.Var(i))
+			forLoop(b, j, ir.ConstInt(0), ir.ConstInt(nnSize), func() {
+				wv := b.Temp(ir.KindFloat)
+				b.ArrayLoad(wv, row, ir.Var(j))
+				iv := b.Temp(ir.KindFloat)
+				b.ArrayLoad(iv, in, ir.Var(j))
+				pr := b.Temp(ir.KindFloat)
+				b.Binop(ir.OpFMul, pr, ir.Var(wv), ir.Var(iv))
+				b.Binop(ir.OpFAdd, sum, ir.Var(sum), ir.Var(pr))
+			})
+			// sigmoid(x) = 1 / (1 + exp(-x))
+			neg := b.Temp(ir.KindFloat)
+			b.Unop(ir.OpFNeg, neg, ir.Var(sum))
+			ex := b.Temp(ir.KindFloat)
+			b.CallStatic(ex, expM, ir.Var(neg))
+			den := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFAdd, den, ir.ConstFloat(1), ir.Var(ex))
+			sig := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFDiv, sig, ir.ConstFloat(1), ir.Var(den))
+			b.ArrayStore(hid, ir.Var(i), ir.Var(sig))
+		})
+		// Fold the first hidden activation into the checksum.
+		h0 := b.Temp(ir.KindFloat)
+		b.ArrayLoad(h0, hid, ir.ConstInt(0))
+		sc := b.Temp(ir.KindInt)
+		scaleF(b, sc, ir.Var(h0))
+		mix(b, s, ir.Var(sc))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refNeuralNet(n int64) int64 {
+	w := make([][]float64, nnSize)
+	for i := range w {
+		w[i] = make([]float64, nnSize)
+		for j := range w[i] {
+			w[i][j] = float64((i*7+j*3)%10)*0.1 - 0.4
+		}
+	}
+	in := make([]float64, nnSize)
+	hid := make([]float64, nnSize)
+	s := int64(0)
+	for t := int64(0); t < n; t++ {
+		for j := int64(0); j < nnSize; j++ {
+			in[j] = 0.1 * float64((t+j)%7)
+		}
+		for i := 0; i < nnSize; i++ {
+			sum := 0.0
+			row := w[i]
+			for j := 0; j < nnSize; j++ {
+				sum += row[j] * in[j]
+			}
+			hid[i] = 1 / (1 + math.Exp(-sum))
+		}
+		s = mixGo(s, scaleFGo(hid[0]))
+	}
+	return s
+}

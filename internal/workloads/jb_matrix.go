@@ -1,0 +1,294 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// Assignment mirrors jBYTEmark's Assignment kernel: repeated row and column
+// reduction passes over a two-dimensional cost matrix. This is the paper's
+// flagship phase 1 workload (Table 1: 107.87 → 207.41): the inner loops walk
+// `m[i][j]`, and only the iterated null check / bounds check / scalar
+// replacement combination can pull the row pointer loads out.
+func Assignment() *Workload {
+	return &Workload{
+		Name:  "Assignment",
+		Suite: "jBYTEmark",
+		N:     60,
+		TestN: 6,
+		Build: buildAssignment,
+		Ref:   refAssignment,
+	}
+}
+
+const asgDim = 24
+
+func buildAssignment() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Assignment")
+	b, n := entry("Assignment")
+
+	m := b.Local("m", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	t := b.Local("t", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	// Build the cost matrix.
+	b.NewArray(m, ir.ConstInt(asgDim))
+	b.Move(r, ir.ConstInt(77))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(asgDim), func() {
+		row := b.Temp(ir.KindRef)
+		b.NewArray(row, ir.ConstInt(asgDim))
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(asgDim), func() {
+			lcgNext(b, r)
+			v := b.Temp(ir.KindInt)
+			b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(1000))
+			b.ArrayStore(row, ir.Var(j), ir.Var(v))
+		})
+		b.ArrayStore(m, ir.Var(i), ir.Var(row))
+	})
+
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, t, ir.ConstInt(0), ir.Var(n), func() {
+		// Row reduction: subtract each row's minimum.
+		forLoop(b, i, ir.ConstInt(0), ir.ConstInt(asgDim), func() {
+			row := b.Local("rrow", ir.KindRef)
+			b.ArrayLoad(row, m, ir.Var(i))
+			min := b.Local("rmin", ir.KindInt)
+			b.ArrayLoad(min, row, ir.ConstInt(0))
+			forLoop(b, j, ir.ConstInt(1), ir.ConstInt(asgDim), func() {
+				v := b.Temp(ir.KindInt)
+				b.ArrayLoad(v, row, ir.Var(j))
+				ifThen(b, ir.CondLT, ir.Var(v), ir.Var(min), func() {
+					b.Move(min, ir.Var(v))
+				})
+			})
+			forLoop(b, j, ir.ConstInt(0), ir.ConstInt(asgDim), func() {
+				v := b.Temp(ir.KindInt)
+				b.ArrayLoad(v, row, ir.Var(j))
+				b.Binop(ir.OpSub, v, ir.Var(v), ir.Var(min))
+				b.ArrayStore(row, ir.Var(j), ir.Var(v))
+			})
+			mix(b, s, ir.Var(min))
+		})
+		// Column reduction: subtract each column's minimum; the inner loops
+		// load m[i] fresh every iteration — the redundancy the optimizer
+		// family removes.
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(asgDim), func() {
+			min := b.Local("cmin", ir.KindInt)
+			row0 := b.Temp(ir.KindRef)
+			b.ArrayLoad(row0, m, ir.ConstInt(0))
+			b.ArrayLoad(min, row0, ir.Var(j))
+			forLoop(b, i, ir.ConstInt(1), ir.ConstInt(asgDim), func() {
+				row := b.Temp(ir.KindRef)
+				b.ArrayLoad(row, m, ir.Var(i))
+				v := b.Temp(ir.KindInt)
+				b.ArrayLoad(v, row, ir.Var(j))
+				ifThen(b, ir.CondLT, ir.Var(v), ir.Var(min), func() {
+					b.Move(min, ir.Var(v))
+				})
+			})
+			forLoop(b, i, ir.ConstInt(0), ir.ConstInt(asgDim), func() {
+				row := b.Temp(ir.KindRef)
+				b.ArrayLoad(row, m, ir.Var(i))
+				v := b.Temp(ir.KindInt)
+				b.ArrayLoad(v, row, ir.Var(j))
+				b.Binop(ir.OpSub, v, ir.Var(v), ir.Var(min))
+				b.ArrayStore(row, ir.Var(j), ir.Var(v))
+			})
+			mix(b, s, ir.Var(min))
+		})
+		// Re-seed one diagonal cell so each pass does fresh work.
+		lcgNext(b, r)
+		d := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, d, ir.Var(t), ir.ConstInt(asgDim))
+		rowd := b.Temp(ir.KindRef)
+		b.ArrayLoad(rowd, m, ir.Var(d))
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(1000))
+		b.ArrayStore(rowd, ir.Var(d), ir.Var(v))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refAssignment(n int64) int64 {
+	m := make([][]int64, asgDim)
+	r := int64(77)
+	for i := range m {
+		m[i] = make([]int64, asgDim)
+		for j := range m[i] {
+			r = lcgNextGo(r)
+			m[i][j] = r % 1000
+		}
+	}
+	s := int64(0)
+	for t := int64(0); t < n; t++ {
+		for i := 0; i < asgDim; i++ {
+			row := m[i]
+			min := row[0]
+			for j := 1; j < asgDim; j++ {
+				if row[j] < min {
+					min = row[j]
+				}
+			}
+			for j := 0; j < asgDim; j++ {
+				row[j] -= min
+			}
+			s = mixGo(s, min)
+		}
+		for j := 0; j < asgDim; j++ {
+			min := m[0][j]
+			for i := 1; i < asgDim; i++ {
+				if m[i][j] < min {
+					min = m[i][j]
+				}
+			}
+			for i := 0; i < asgDim; i++ {
+				m[i][j] -= min
+			}
+			s = mixGo(s, min)
+		}
+		r = lcgNextGo(r)
+		d := t % asgDim
+		m[d][d] = r % 1000
+	}
+	return s
+}
+
+// LUDecomposition mirrors jBYTEmark's LU Decomposition kernel: in-place
+// Gaussian elimination over a two-dimensional float matrix — triple-nested
+// loops of `a[i][j]` accesses, the other flagship phase 1 workload
+// (Table 1: 112.57 → 205.90).
+func LUDecomposition() *Workload {
+	return &Workload{
+		Name:  "LUDecomposition",
+		Suite: "jBYTEmark",
+		N:     26,
+		TestN: 6,
+		Build: buildLU,
+		Ref:   refLU,
+	}
+}
+
+func buildLU() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("LUDecomposition")
+	b, n := entry("LUDecomposition")
+
+	holder := b.Local("holder", ir.KindRef)
+	a := b.Local("a", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	k := b.Local("k", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	// The matrix reference is fetched from a holder so no allocation in
+	// scope proves it non-null; its checks must be moved by the optimizer.
+	b.NewArray(holder, ir.ConstInt(1))
+	tmp := b.Temp(ir.KindRef)
+	b.NewArray(tmp, ir.Var(n))
+	b.ArrayStore(holder, ir.ConstInt(0), ir.Var(tmp))
+	b.ArrayLoad(a, holder, ir.ConstInt(0))
+
+	// a[i][j] = ((i*j) % 7) + 1, plus n on the diagonal for dominance.
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		row := b.Temp(ir.KindRef)
+		b.NewArray(row, ir.Var(n))
+		forLoop(b, j, ir.ConstInt(0), ir.Var(n), func() {
+			v := b.Temp(ir.KindInt)
+			b.Binop(ir.OpMul, v, ir.Var(i), ir.Var(j))
+			b.Binop(ir.OpRem, v, ir.Var(v), ir.ConstInt(7))
+			b.Binop(ir.OpAdd, v, ir.Var(v), ir.ConstInt(1))
+			ifThen(b, ir.CondEQ, ir.Var(i), ir.Var(j), func() {
+				b.Binop(ir.OpAdd, v, ir.Var(v), ir.Var(n))
+			})
+			vf := b.Temp(ir.KindFloat)
+			b.Unop(ir.OpIntToFloat, vf, ir.Var(v))
+			b.ArrayStore(row, ir.Var(j), ir.Var(vf))
+		})
+		b.ArrayStore(a, ir.Var(i), ir.Var(row))
+	})
+
+	// Decompose with full a[i][j] indexing in the elimination loop, as the
+	// FORTRAN-derived BYTEmark source does: every element touch re-indexes
+	// the outer array. Only the iterated phase 1 + bounds + scalar
+	// combination can lift the row pointer loads out of the inner loop.
+	forLoop(b, k, ir.ConstInt(0), ir.Var(n), func() {
+		k1 := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAdd, k1, ir.Var(k), ir.ConstInt(1))
+		forLoop(b, i, ir.Var(k1), ir.Var(n), func() {
+			// f = a[i][k] / a[k][k]; a[i][k] = f
+			rowi0 := b.Temp(ir.KindRef)
+			b.ArrayLoad(rowi0, a, ir.Var(i))
+			aik := b.Temp(ir.KindFloat)
+			b.ArrayLoad(aik, rowi0, ir.Var(k))
+			rowk0 := b.Temp(ir.KindRef)
+			b.ArrayLoad(rowk0, a, ir.Var(k))
+			akk := b.Temp(ir.KindFloat)
+			b.ArrayLoad(akk, rowk0, ir.Var(k))
+			f := b.Local("f", ir.KindFloat)
+			b.Binop(ir.OpFDiv, f, ir.Var(aik), ir.Var(akk))
+			rowi1 := b.Temp(ir.KindRef)
+			b.ArrayLoad(rowi1, a, ir.Var(i))
+			b.ArrayStore(rowi1, ir.Var(k), ir.Var(f))
+			forLoop(b, j, ir.Var(k1), ir.Var(n), func() {
+				// a[i][j] -= f * a[k][j], re-indexing both rows.
+				rowk := b.Temp(ir.KindRef)
+				b.ArrayLoad(rowk, a, ir.Var(k))
+				akj := b.Temp(ir.KindFloat)
+				b.ArrayLoad(akj, rowk, ir.Var(j))
+				rowi := b.Temp(ir.KindRef)
+				b.ArrayLoad(rowi, a, ir.Var(i))
+				aij := b.Temp(ir.KindFloat)
+				b.ArrayLoad(aij, rowi, ir.Var(j))
+				prod := b.Temp(ir.KindFloat)
+				b.Binop(ir.OpFMul, prod, ir.Var(f), ir.Var(akj))
+				b.Binop(ir.OpFSub, aij, ir.Var(aij), ir.Var(prod))
+				b.ArrayStore(rowi, ir.Var(j), ir.Var(aij))
+			})
+		})
+	})
+
+	// Checksum the diagonal.
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		row := b.Temp(ir.KindRef)
+		b.ArrayLoad(row, a, ir.Var(i))
+		d := b.Temp(ir.KindFloat)
+		b.ArrayLoad(d, row, ir.Var(i))
+		sc := b.Temp(ir.KindInt)
+		scaleF(b, sc, ir.Var(d))
+		mix(b, s, ir.Var(sc))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refLU(n int64) int64 {
+	a := make([][]float64, n)
+	for i := int64(0); i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := int64(0); j < n; j++ {
+			v := (i*j)%7 + 1
+			if i == j {
+				v += n
+			}
+			a[i][j] = float64(v)
+		}
+	}
+	for k := int64(0); k < n; k++ {
+		rowk := a[k]
+		pivot := rowk[k]
+		for i := k + 1; i < n; i++ {
+			rowi := a[i]
+			f := rowi[k] / pivot
+			rowi[k] = f
+			for j := k + 1; j < n; j++ {
+				rowi[j] -= f * rowk[j]
+			}
+		}
+	}
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		s = mixGo(s, scaleFGo(a[i][i]))
+	}
+	return s
+}

@@ -1,0 +1,325 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// IDEAEncryption mirrors jBYTEmark's IDEA encryption kernel: arithmetic
+// rounds over 16-bit blocks with a key schedule held in an array —
+// multiply/add/xor dense with regular array traffic.
+func IDEAEncryption() *Workload {
+	return &Workload{
+		Name:  "IDEAEncryption",
+		Suite: "jBYTEmark",
+		N:     6000,
+		TestN: 128,
+		Build: buildIDEA,
+		Ref:   refIDEA,
+	}
+}
+
+const ideaKeys = 16
+
+func buildIDEA() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("IDEAEncryption")
+	b, n := entry("IDEAEncryption")
+
+	key := b.Local("key", ir.KindRef)
+	data := b.Local("data", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	rd := b.Local("rd", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	b.NewArray(key, ir.ConstInt(ideaKeys))
+	b.Move(r, ir.ConstInt(321))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(ideaKeys), func() {
+		lcgNext(b, r)
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, v, ir.Var(r), ir.ConstInt(0xffff))
+		b.Binop(ir.OpOr, v, ir.Var(v), ir.ConstInt(1)) // avoid zero keys
+		b.ArrayStore(key, ir.Var(i), ir.Var(v))
+	})
+	b.NewArray(data, ir.Var(n))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, v, ir.Var(r), ir.ConstInt(0xffff))
+		b.ArrayStore(data, ir.Var(i), ir.Var(v))
+	})
+
+	// Four rounds of mul-mod-65537 / add / xor per block.
+	forLoop(b, rd, ir.ConstInt(0), ir.ConstInt(4), func() {
+		forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+			x := b.Local("x", ir.KindInt)
+			b.ArrayLoad(x, data, ir.Var(i))
+			ki := b.Temp(ir.KindInt)
+			kidx := b.Temp(ir.KindInt)
+			b.Binop(ir.OpAdd, kidx, ir.Var(i), ir.Var(rd))
+			b.Binop(ir.OpAnd, kidx, ir.Var(kidx), ir.ConstInt(ideaKeys-1))
+			b.ArrayLoad(ki, key, ir.Var(kidx))
+			// x = (x * k) % 65537 (the IDEA multiply, zero mapped to 65536).
+			ifThen(b, ir.CondEQ, ir.Var(x), ir.ConstInt(0), func() {
+				b.Move(x, ir.ConstInt(65536))
+			})
+			b.Binop(ir.OpMul, x, ir.Var(x), ir.Var(ki))
+			b.Binop(ir.OpRem, x, ir.Var(x), ir.ConstInt(65537))
+			b.Binop(ir.OpAnd, x, ir.Var(x), ir.ConstInt(0xffff))
+			// x = (x + k2) & 0xffff ^ k3
+			k2i := b.Temp(ir.KindInt)
+			b.Binop(ir.OpXor, k2i, ir.Var(kidx), ir.ConstInt(5))
+			b.Binop(ir.OpAnd, k2i, ir.Var(k2i), ir.ConstInt(ideaKeys-1))
+			k2 := b.Temp(ir.KindInt)
+			b.ArrayLoad(k2, key, ir.Var(k2i))
+			b.Binop(ir.OpAdd, x, ir.Var(x), ir.Var(k2))
+			b.Binop(ir.OpAnd, x, ir.Var(x), ir.ConstInt(0xffff))
+			b.Binop(ir.OpXor, x, ir.Var(x), ir.Var(ki))
+			b.Binop(ir.OpAnd, x, ir.Var(x), ir.ConstInt(0xffff))
+			b.ArrayStore(data, ir.Var(i), ir.Var(x))
+		})
+	})
+
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		v := b.Temp(ir.KindInt)
+		b.ArrayLoad(v, data, ir.Var(i))
+		mix(b, s, ir.Var(v))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refIDEA(n int64) int64 {
+	key := make([]int64, ideaKeys)
+	r := int64(321)
+	for i := range key {
+		r = lcgNextGo(r)
+		key[i] = r&0xffff | 1
+	}
+	data := make([]int64, n)
+	for i := range data {
+		r = lcgNextGo(r)
+		data[i] = r & 0xffff
+	}
+	for rd := int64(0); rd < 4; rd++ {
+		for i := int64(0); i < n; i++ {
+			x := data[i]
+			kidx := (i + rd) & (ideaKeys - 1)
+			ki := key[kidx]
+			if x == 0 {
+				x = 65536
+			}
+			x = (x * ki) % 65537 & 0xffff
+			k2 := key[(kidx^5)&(ideaKeys-1)]
+			x = (x + k2) & 0xffff
+			x = (x ^ ki) & 0xffff
+			data[i] = x
+		}
+	}
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		s = mixGo(s, data[i])
+	}
+	return s
+}
+
+// HuffmanCompression mirrors jBYTEmark's Huffman kernel: frequency counting,
+// greedy tree construction over small arrays, then a weighted encode pass —
+// branchy control flow around dense small-array access.
+func HuffmanCompression() *Workload {
+	return &Workload{
+		Name:  "HuffmanCompression",
+		Suite: "jBYTEmark",
+		N:     9000,
+		TestN: 256,
+		Build: buildHuffman,
+		Ref:   refHuffman,
+	}
+}
+
+const hufSyms = 32
+
+func buildHuffman() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("HuffmanCompression")
+	b, n := entry("HuffmanCompression")
+
+	input := b.Local("input", ir.KindRef)
+	freq := b.Local("freq", ir.KindRef)
+	depth := b.Local("depth", ir.KindRef)
+	alive := b.Local("alive", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	b.NewArray(input, ir.Var(n))
+	b.Move(r, ir.ConstInt(4242))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		// Skew the distribution: syms 0..7 are four times as likely.
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(hufSyms*2))
+		ifThen(b, ir.CondGE, ir.Var(v), ir.ConstInt(hufSyms), func() {
+			b.Binop(ir.OpAnd, v, ir.Var(v), ir.ConstInt(7))
+		})
+		b.ArrayStore(input, ir.Var(i), ir.Var(v))
+	})
+
+	// Frequency count.
+	b.NewArray(freq, ir.ConstInt(hufSyms))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		v := b.Temp(ir.KindInt)
+		b.ArrayLoad(v, input, ir.Var(i))
+		f := b.Temp(ir.KindInt)
+		b.ArrayLoad(f, freq, ir.Var(v))
+		b.Binop(ir.OpAdd, f, ir.Var(f), ir.ConstInt(1))
+		b.ArrayStore(freq, ir.Var(v), ir.Var(f))
+	})
+
+	// Greedy pairing: repeatedly merge the two lightest alive symbols,
+	// deepening every symbol folded into the merge (code length proxy).
+	b.NewArray(depth, ir.ConstInt(hufSyms))
+	b.NewArray(alive, ir.ConstInt(hufSyms))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(hufSyms), func() {
+		b.ArrayStore(alive, ir.Var(i), ir.ConstInt(1))
+	})
+	work := b.Local("work", ir.KindRef)
+	b.NewArray(work, ir.ConstInt(hufSyms))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(hufSyms), func() {
+		f := b.Temp(ir.KindInt)
+		b.ArrayLoad(f, freq, ir.Var(i))
+		b.Binop(ir.OpAdd, f, ir.Var(f), ir.ConstInt(1)) // no zero weights
+		b.ArrayStore(work, ir.Var(i), ir.Var(f))
+	})
+	m := b.Local("m", ir.KindInt)
+	forLoop(b, m, ir.ConstInt(0), ir.ConstInt(hufSyms-1), func() {
+		best1 := b.Local("best1", ir.KindInt)
+		best2 := b.Local("best2", ir.KindInt)
+		b.Move(best1, ir.ConstInt(-1))
+		b.Move(best2, ir.ConstInt(-1))
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(hufSyms), func() {
+			av := b.Temp(ir.KindInt)
+			b.ArrayLoad(av, alive, ir.Var(j))
+			ifThen(b, ir.CondNE, ir.Var(av), ir.ConstInt(0), func() {
+				wj := b.Temp(ir.KindInt)
+				b.ArrayLoad(wj, work, ir.Var(j))
+				pick2 := func() {
+					w2 := b.Temp(ir.KindInt)
+					b.Move(w2, ir.ConstInt(1<<30))
+					ifThen(b, ir.CondGE, ir.Var(best2), ir.ConstInt(0), func() {
+						b.ArrayLoad(w2, work, ir.Var(best2))
+					})
+					ifThen(b, ir.CondLT, ir.Var(wj), ir.Var(w2), func() {
+						b.Move(best2, ir.Var(j))
+					})
+				}
+				w1 := b.Temp(ir.KindInt)
+				b.Move(w1, ir.ConstInt(1<<30))
+				ifThen(b, ir.CondGE, ir.Var(best1), ir.ConstInt(0), func() {
+					b.ArrayLoad(w1, work, ir.Var(best1))
+				})
+				ifThenElse(b, ir.CondLT, ir.Var(wj), ir.Var(w1),
+					func() {
+						b.Move(best2, ir.Var(best1))
+						b.Move(best1, ir.Var(j))
+					},
+					pick2)
+			})
+		})
+		// Merge best2 into best1: weights add, both groups deepen by one.
+		w1 := b.Temp(ir.KindInt)
+		w2 := b.Temp(ir.KindInt)
+		b.ArrayLoad(w1, work, ir.Var(best1))
+		b.ArrayLoad(w2, work, ir.Var(best2))
+		b.Binop(ir.OpAdd, w1, ir.Var(w1), ir.Var(w2))
+		b.ArrayStore(work, ir.Var(best1), ir.Var(w1))
+		b.ArrayStore(alive, ir.Var(best2), ir.ConstInt(0))
+		d1 := b.Temp(ir.KindInt)
+		b.ArrayLoad(d1, depth, ir.Var(best1))
+		b.Binop(ir.OpAdd, d1, ir.Var(d1), ir.ConstInt(1))
+		b.ArrayStore(depth, ir.Var(best1), ir.Var(d1))
+		d2 := b.Temp(ir.KindInt)
+		b.ArrayLoad(d2, depth, ir.Var(best2))
+		b.Binop(ir.OpAdd, d2, ir.Var(d2), ir.ConstInt(1))
+		b.ArrayStore(depth, ir.Var(best2), ir.Var(d2))
+	})
+
+	// Encode: total output bits = sum over input of depth[sym].
+	bits := b.Local("bits", ir.KindInt)
+	b.Move(bits, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		v := b.Temp(ir.KindInt)
+		b.ArrayLoad(v, input, ir.Var(i))
+		d := b.Temp(ir.KindInt)
+		b.ArrayLoad(d, depth, ir.Var(v))
+		b.Binop(ir.OpAdd, bits, ir.Var(bits), ir.Var(d))
+	})
+	b.Move(s, ir.ConstInt(0))
+	mix(b, s, ir.Var(bits))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(hufSyms), func() {
+		d := b.Temp(ir.KindInt)
+		b.ArrayLoad(d, depth, ir.Var(i))
+		mix(b, s, ir.Var(d))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refHuffman(n int64) int64 {
+	input := make([]int64, n)
+	r := int64(4242)
+	for i := range input {
+		r = lcgNextGo(r)
+		v := r % (hufSyms * 2)
+		if v >= hufSyms {
+			v &= 7
+		}
+		input[i] = v
+	}
+	freq := make([]int64, hufSyms)
+	for _, v := range input {
+		freq[v]++
+	}
+	depth := make([]int64, hufSyms)
+	alive := make([]bool, hufSyms)
+	work := make([]int64, hufSyms)
+	for i := range alive {
+		alive[i] = true
+		work[i] = freq[i] + 1
+	}
+	for m := 0; m < hufSyms-1; m++ {
+		best1, best2 := int64(-1), int64(-1)
+		for j := int64(0); j < hufSyms; j++ {
+			if !alive[j] {
+				continue
+			}
+			w1 := int64(1 << 30)
+			if best1 >= 0 {
+				w1 = work[best1]
+			}
+			if work[j] < w1 {
+				best2 = best1
+				best1 = j
+			} else {
+				w2 := int64(1 << 30)
+				if best2 >= 0 {
+					w2 = work[best2]
+				}
+				if work[j] < w2 {
+					best2 = j
+				}
+			}
+		}
+		work[best1] += work[best2]
+		alive[best2] = false
+		depth[best1]++
+		depth[best2]++
+	}
+	bits := int64(0)
+	for _, v := range input {
+		bits += depth[v]
+	}
+	s := mixGo(0, bits)
+	for i := 0; i < hufSyms; i++ {
+		s = mixGo(s, depth[i])
+	}
+	return s
+}

@@ -1,0 +1,316 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// NumericSort mirrors jBYTEmark's Numeric Sort: heap sort over an integer
+// array. Dense array traffic; every element access carries the full
+// nullcheck/arraylength/boundcheck sequence until the optimizers work.
+func NumericSort() *Workload {
+	return &Workload{
+		Name:  "NumericSort",
+		Suite: "jBYTEmark",
+		N:     2000,
+		TestN: 64,
+		Build: buildNumericSort,
+		Ref:   refNumericSort,
+	}
+}
+
+func buildNumericSort() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("NumericSort")
+
+	// sift(arr, start, end): sift-down for heap sort.
+	sb := ir.NewFunc("sift", false)
+	arr := sb.Param("arr", ir.KindRef)
+	start := sb.Param("start", ir.KindInt)
+	end := sb.Param("end", ir.KindInt)
+	sb.Result(ir.KindInt)
+	sb.Block("entry")
+	root := sb.Local("root", ir.KindInt)
+	child := sb.Local("child", ir.KindInt)
+	sb.Move(root, ir.Var(start))
+
+	loop := sb.DeclareBlock("loop")
+	done := sb.DeclareBlock("done")
+	cont1 := sb.DeclareBlock("haveChild")
+	sb.Jump(loop)
+
+	sb.SetBlock(loop)
+	sb.Binop(ir.OpMul, child, ir.Var(root), ir.ConstInt(2))
+	sb.Binop(ir.OpAdd, child, ir.Var(child), ir.ConstInt(1))
+	sb.If(ir.CondGE, ir.Var(child), ir.Var(end), done, cont1)
+
+	sb.SetBlock(cont1)
+	// if child+1 < end && arr[child] < arr[child+1]: child++
+	c1 := sb.Temp(ir.KindInt)
+	sb.Binop(ir.OpAdd, c1, ir.Var(child), ir.ConstInt(1))
+	ifThen(sb, ir.CondLT, ir.Var(c1), ir.Var(end), func() {
+		va := sb.Temp(ir.KindInt)
+		vb := sb.Temp(ir.KindInt)
+		sb.ArrayLoad(va, arr, ir.Var(child))
+		sb.ArrayLoad(vb, arr, ir.Var(c1))
+		ifThen(sb, ir.CondLT, ir.Var(va), ir.Var(vb), func() {
+			sb.Move(child, ir.Var(c1))
+		})
+	})
+	// if arr[root] < arr[child]: swap, root = child, continue; else done.
+	vr := sb.Temp(ir.KindInt)
+	vc := sb.Temp(ir.KindInt)
+	sb.ArrayLoad(vr, arr, ir.Var(root))
+	sb.ArrayLoad(vc, arr, ir.Var(child))
+	swapBlk := sb.DeclareBlock("swap")
+	sb.If(ir.CondLT, ir.Var(vr), ir.Var(vc), swapBlk, done)
+	sb.SetBlock(swapBlk)
+	sb.ArrayStore(arr, ir.Var(root), ir.Var(vc))
+	sb.ArrayStore(arr, ir.Var(child), ir.Var(vr))
+	sb.Move(root, ir.Var(child))
+	sb.Jump(loop)
+
+	sb.SetBlock(done)
+	sb.Return(ir.ConstInt(0))
+	sift := p.AddMethod(nil, "sift", sb.Finish(), false)
+
+	b, n := entry("NumericSort")
+	a := b.Local("a", ir.KindRef)
+	r := b.Local("r", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	b.NewArray(a, ir.Var(n))
+	b.Move(r, ir.ConstInt(12345))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		b.ArrayStore(a, ir.Var(i), ir.Var(r))
+	})
+	// Heapify.
+	half := b.Temp(ir.KindInt)
+	b.Binop(ir.OpDiv, half, ir.Var(n), ir.ConstInt(2))
+	k := b.Local("k", ir.KindInt)
+	forLoop(b, k, ir.ConstInt(0), ir.Var(half), func() {
+		st := b.Temp(ir.KindInt)
+		b.Binop(ir.OpSub, st, ir.Var(half), ir.Var(k))
+		b.Binop(ir.OpSub, st, ir.Var(st), ir.ConstInt(1))
+		b.CallStatic(ir.NoVar, sift, ir.Var(a), ir.Var(st), ir.Var(n))
+	})
+	// Sort down.
+	e := b.Local("e", ir.KindInt)
+	nm1 := b.Temp(ir.KindInt)
+	b.Binop(ir.OpSub, nm1, ir.Var(n), ir.ConstInt(1))
+	forLoop(b, k, ir.ConstInt(0), ir.Var(nm1), func() {
+		b.Binop(ir.OpSub, e, ir.Var(nm1), ir.Var(k))
+		v0 := b.Temp(ir.KindInt)
+		ve := b.Temp(ir.KindInt)
+		b.ArrayLoad(v0, a, ir.ConstInt(0))
+		b.ArrayLoad(ve, a, ir.Var(e))
+		b.ArrayStore(a, ir.ConstInt(0), ir.Var(ve))
+		b.ArrayStore(a, ir.Var(e), ir.Var(v0))
+		b.CallStatic(ir.NoVar, sift, ir.Var(a), ir.ConstInt(0), ir.Var(e))
+	})
+	// Checksum.
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		v := b.Temp(ir.KindInt)
+		b.ArrayLoad(v, a, ir.Var(i))
+		mix(b, s, ir.Var(v))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refNumericSort(n int64) int64 {
+	a := make([]int64, n)
+	r := int64(12345)
+	for i := range a {
+		r = lcgNextGo(r)
+		a[i] = r
+	}
+	sift := func(start, end int64) {
+		root := start
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && a[child] < a[child+1] {
+				child++
+			}
+			if a[root] < a[child] {
+				a[root], a[child] = a[child], a[root]
+				root = child
+				continue
+			}
+			return
+		}
+	}
+	half := n / 2
+	for k := int64(0); k < half; k++ {
+		sift(half-k-1, n)
+	}
+	for e := n - 1; e >= 1; e-- {
+		a[0], a[e] = a[e], a[0]
+		sift(0, e)
+	}
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		s = mixGo(s, a[i])
+	}
+	return s
+}
+
+// StringSort mirrors jBYTEmark's String Sort: selection sort of variable
+// length byte strings (arrays of arrays) with a lexicographic comparison
+// helper — two-level array walks throughout.
+func StringSort() *Workload {
+	return &Workload{
+		Name:  "StringSort",
+		Suite: "jBYTEmark",
+		N:     160,
+		TestN: 24,
+		Build: buildStringSort,
+		Ref:   refStringSort,
+	}
+}
+
+func buildStringSort() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("StringSort")
+
+	// cmp(a, b): lexicographic comparison of two int arrays.
+	cb := ir.NewFunc("cmp", false)
+	aa := cb.Param("a", ir.KindRef)
+	bb := cb.Param("b", ir.KindRef)
+	cb.Result(ir.KindInt)
+	cb.Block("entry")
+	la := cb.Temp(ir.KindInt)
+	lb := cb.Temp(ir.KindInt)
+	cb.ArrayLength(la, aa)
+	cb.ArrayLength(lb, bb)
+	minl := cb.Local("minl", ir.KindInt)
+	cb.Move(minl, ir.Var(la))
+	ifThen(cb, ir.CondLT, ir.Var(lb), ir.Var(la), func() {
+		cb.Move(minl, ir.Var(lb))
+	})
+	j := cb.Local("j", ir.KindInt)
+	diffExit := cb.DeclareBlock("diff")
+	diff := cb.Local("diff", ir.KindInt)
+	forLoop(cb, j, ir.ConstInt(0), ir.Var(minl), func() {
+		va := cb.Temp(ir.KindInt)
+		vb := cb.Temp(ir.KindInt)
+		cb.ArrayLoad(va, aa, ir.Var(j))
+		cb.ArrayLoad(vb, bb, ir.Var(j))
+		cont := cb.DeclareBlock("eq")
+		ne := cb.DeclareBlock("ne")
+		cb.If(ir.CondNE, ir.Var(va), ir.Var(vb), ne, cont)
+		cb.SetBlock(ne)
+		cb.Binop(ir.OpSub, diff, ir.Var(va), ir.Var(vb))
+		cb.Jump(diffExit)
+		cb.SetBlock(cont)
+	})
+	cb.Binop(ir.OpSub, diff, ir.Var(la), ir.Var(lb))
+	cb.Jump(diffExit)
+	cb.SetBlock(diffExit)
+	cb.Return(ir.Var(diff))
+	cmp := p.AddMethod(nil, "cmp", cb.Finish(), false)
+
+	b, n := entry("StringSort")
+	arr := b.Local("arr", ir.KindRef)
+	r := b.Local("r", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	j = b.Local("j", ir.KindInt) // reuse the Go variable; new local in main
+	s := b.Local("s", ir.KindInt)
+	b.NewArray(arr, ir.Var(n))
+	b.Move(r, ir.ConstInt(987))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		ln := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, ln, ir.Var(i), ir.ConstInt(13))
+		b.Binop(ir.OpAdd, ln, ir.Var(ln), ir.ConstInt(4))
+		str := b.Temp(ir.KindRef)
+		b.NewArray(str, ir.Var(ln))
+		forLoop(b, j, ir.ConstInt(0), ir.Var(ln), func() {
+			lcgNext(b, r)
+			ch := b.Temp(ir.KindInt)
+			b.Binop(ir.OpRem, ch, ir.Var(r), ir.ConstInt(26))
+			b.ArrayStore(str, ir.Var(j), ir.Var(ch))
+		})
+		b.ArrayStore(arr, ir.Var(i), ir.Var(str))
+	})
+	// Selection sort using cmp.
+	nm1 := b.Temp(ir.KindInt)
+	b.Binop(ir.OpSub, nm1, ir.Var(n), ir.ConstInt(1))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(nm1), func() {
+		best := b.Local("best", ir.KindInt)
+		b.Move(best, ir.Var(i))
+		js := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAdd, js, ir.Var(i), ir.ConstInt(1))
+		forLoop(b, j, ir.Var(js), ir.Var(n), func() {
+			sa := b.Temp(ir.KindRef)
+			sbst := b.Temp(ir.KindRef)
+			b.ArrayLoad(sa, arr, ir.Var(j))
+			b.ArrayLoad(sbst, arr, ir.Var(best))
+			c := b.Temp(ir.KindInt)
+			b.CallStatic(c, cmp, ir.Var(sa), ir.Var(sbst))
+			ifThen(b, ir.CondLT, ir.Var(c), ir.ConstInt(0), func() {
+				b.Move(best, ir.Var(j))
+			})
+		})
+		vi := b.Temp(ir.KindRef)
+		vb := b.Temp(ir.KindRef)
+		b.ArrayLoad(vi, arr, ir.Var(i))
+		b.ArrayLoad(vb, arr, ir.Var(best))
+		b.ArrayStore(arr, ir.Var(i), ir.Var(vb))
+		b.ArrayStore(arr, ir.Var(best), ir.Var(vi))
+	})
+	// Checksum: fold first element and length of each string.
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		str := b.Temp(ir.KindRef)
+		b.ArrayLoad(str, arr, ir.Var(i))
+		ln := b.Temp(ir.KindInt)
+		b.ArrayLength(ln, str)
+		c0 := b.Temp(ir.KindInt)
+		b.ArrayLoad(c0, str, ir.ConstInt(0))
+		mix(b, s, ir.Var(c0))
+		mix(b, s, ir.Var(ln))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refStringSort(n int64) int64 {
+	arr := make([][]int64, n)
+	r := int64(987)
+	for i := int64(0); i < n; i++ {
+		ln := i%13 + 4
+		str := make([]int64, ln)
+		for j := range str {
+			r = lcgNextGo(r)
+			str[j] = r % 26
+		}
+		arr[i] = str
+	}
+	cmp := func(a, b []int64) int64 {
+		minl := int64(len(a))
+		if int64(len(b)) < minl {
+			minl = int64(len(b))
+		}
+		for j := int64(0); j < minl; j++ {
+			if a[j] != b[j] {
+				return a[j] - b[j]
+			}
+		}
+		return int64(len(a)) - int64(len(b))
+	}
+	for i := int64(0); i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if cmp(arr[j], arr[best]) < 0 {
+				best = j
+			}
+		}
+		arr[i], arr[best] = arr[best], arr[i]
+	}
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		s = mixGo(s, arr[i][0])
+		s = mixGo(s, int64(len(arr[i])))
+	}
+	return s
+}

@@ -1,0 +1,398 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// Compress mirrors SPECjvm98 _201_compress: LZW-style dictionary
+// compression over a byte stream — tight array loops with hashing, where
+// the paper's Table 2 shows the hardware trap alone recovering most of the
+// available headroom (18.70 → 17.55).
+func Compress() *Workload {
+	return &Workload{
+		Name:  "Compress",
+		Suite: "SPECjvm98",
+		N:     30000,
+		TestN: 512,
+		Build: buildCompress,
+		Ref:   refCompress,
+	}
+}
+
+const compTable = 4096
+
+func buildCompress() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Compress")
+	b, n := entry("Compress")
+
+	input := b.Local("input", ir.KindRef)
+	table := b.Local("table", ir.KindRef)
+	codes := b.Local("codes", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	h := b.Local("h", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	matches := b.Local("matches", ir.KindInt)
+
+	b.NewArray(input, ir.Var(n))
+	b.Move(r, ir.ConstInt(31337))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		v := b.Temp(ir.KindInt)
+		// Biased byte distribution so the dictionary actually hits.
+		b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(64))
+		ifThen(b, ir.CondGE, ir.Var(v), ir.ConstInt(32), func() {
+			b.Binop(ir.OpAnd, v, ir.Var(v), ir.ConstInt(7))
+		})
+		b.ArrayStore(input, ir.Var(i), ir.Var(v))
+	})
+
+	b.NewArray(table, ir.ConstInt(compTable))
+	b.NewArray(codes, ir.ConstInt(compTable))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(compTable), func() {
+		b.ArrayStore(table, ir.Var(i), ir.ConstInt(-1))
+	})
+
+	b.Move(h, ir.ConstInt(0))
+	b.Move(matches, ir.ConstInt(0))
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		c := b.Temp(ir.KindInt)
+		b.ArrayLoad(c, input, ir.Var(i))
+		b.Binop(ir.OpMul, h, ir.Var(h), ir.ConstInt(31))
+		b.Binop(ir.OpAdd, h, ir.Var(h), ir.Var(c))
+		b.Binop(ir.OpAnd, h, ir.Var(h), ir.ConstInt(compTable-1))
+		te := b.Temp(ir.KindInt)
+		b.ArrayLoad(te, table, ir.Var(h))
+		ifThenElse(b, ir.CondEQ, ir.Var(te), ir.Var(c),
+			func() {
+				b.Binop(ir.OpAdd, matches, ir.Var(matches), ir.ConstInt(1))
+				cd := b.Temp(ir.KindInt)
+				b.ArrayLoad(cd, codes, ir.Var(h))
+				b.Binop(ir.OpAdd, cd, ir.Var(cd), ir.ConstInt(1))
+				b.ArrayStore(codes, ir.Var(h), ir.Var(cd))
+			},
+			func() {
+				b.ArrayStore(table, ir.Var(h), ir.Var(c))
+			})
+	})
+	mix(b, s, ir.Var(matches))
+	forLoopStep(b, i, ir.ConstInt(0), ir.ConstInt(compTable), 256, func() {
+		cd := b.Temp(ir.KindInt)
+		b.ArrayLoad(cd, codes, ir.Var(i))
+		mix(b, s, ir.Var(cd))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refCompress(n int64) int64 {
+	input := make([]int64, n)
+	r := int64(31337)
+	for i := range input {
+		r = lcgNextGo(r)
+		v := r % 64
+		if v >= 32 {
+			v &= 7
+		}
+		input[i] = v
+	}
+	table := make([]int64, compTable)
+	codes := make([]int64, compTable)
+	for i := range table {
+		table[i] = -1
+	}
+	h, matches := int64(0), int64(0)
+	for i := int64(0); i < n; i++ {
+		c := input[i]
+		h = (h*31 + c) & (compTable - 1)
+		if table[h] == c {
+			matches++
+			codes[h]++
+		} else {
+			table[h] = c
+		}
+	}
+	s := mixGo(0, matches)
+	for i := 0; i < compTable; i += 256 {
+		s = mixGo(s, codes[i])
+	}
+	return s
+}
+
+// MPEGAudio mirrors SPECjvm98 _222_mpegaudio: a polyphase FIR filter over
+// float sample windows — multiply-accumulate inner loops whose array bases
+// are loop-invariant (null check hoisting) but whose indices are not
+// (bounds checks stay).
+func MPEGAudio() *Workload {
+	return &Workload{
+		Name:  "MPEGAudio",
+		Suite: "SPECjvm98",
+		N:     4000,
+		TestN: 256,
+		Build: buildMPEG,
+		Ref:   refMPEG,
+	}
+}
+
+const firTaps = 32
+
+func buildMPEG() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("MPEGAudio")
+	b, n := entry("MPEGAudio")
+
+	x := b.Local("x", ir.KindRef)
+	c := b.Local("c", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	b.NewArray(c, ir.ConstInt(firTaps))
+	forLoop(b, j, ir.ConstInt(0), ir.ConstInt(firTaps), func() {
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpSub, v, ir.ConstInt(firTaps/2), ir.Var(j))
+		vf := b.Temp(ir.KindFloat)
+		b.Unop(ir.OpIntToFloat, vf, ir.Var(v))
+		b.Binop(ir.OpFMul, vf, ir.Var(vf), ir.ConstFloat(0.01))
+		b.ArrayStore(c, ir.Var(j), ir.Var(vf))
+	})
+	b.NewArray(x, ir.Var(n))
+	b.Move(r, ir.ConstInt(808))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(2001))
+		b.Binop(ir.OpSub, v, ir.Var(v), ir.ConstInt(1000))
+		vf := b.Temp(ir.KindFloat)
+		b.Unop(ir.OpIntToFloat, vf, ir.Var(v))
+		b.Binop(ir.OpFMul, vf, ir.Var(vf), ir.ConstFloat(0.001))
+		b.ArrayStore(x, ir.Var(i), ir.Var(vf))
+	})
+
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(firTaps), ir.Var(n), func() {
+		acc := b.Local("acc", ir.KindFloat)
+		b.Move(acc, ir.ConstFloat(0))
+		forLoop(b, j, ir.ConstInt(0), ir.ConstInt(firTaps), func() {
+			cj := b.Temp(ir.KindFloat)
+			b.ArrayLoad(cj, c, ir.Var(j))
+			idx := b.Temp(ir.KindInt)
+			b.Binop(ir.OpSub, idx, ir.Var(i), ir.Var(j))
+			xv := b.Temp(ir.KindFloat)
+			b.ArrayLoad(xv, x, ir.Var(idx))
+			pr := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFMul, pr, ir.Var(cj), ir.Var(xv))
+			b.Binop(ir.OpFAdd, acc, ir.Var(acc), ir.Var(pr))
+		})
+		m := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, m, ir.Var(i), ir.ConstInt(255))
+		ifThen(b, ir.CondEQ, ir.Var(m), ir.ConstInt(0), func() {
+			sc := b.Temp(ir.KindInt)
+			scaleF(b, sc, ir.Var(acc))
+			mix(b, s, ir.Var(sc))
+		})
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refMPEG(n int64) int64 {
+	c := make([]float64, firTaps)
+	for j := 0; j < firTaps; j++ {
+		c[j] = float64(firTaps/2-j) * 0.01
+	}
+	x := make([]float64, n)
+	r := int64(808)
+	for i := range x {
+		r = lcgNextGo(r)
+		x[i] = float64(r%2001-1000) * 0.001
+	}
+	s := int64(0)
+	for i := int64(firTaps); i < n; i++ {
+		acc := 0.0
+		for j := int64(0); j < firTaps; j++ {
+			acc += c[j] * x[i-j]
+		}
+		if i&255 == 0 {
+			s = mixGo(s, scaleFGo(acc))
+		}
+	}
+	return s
+}
+
+// Jack mirrors SPECjvm98 _228_jack: a tokenizer/state machine over a symbol
+// stream with small classifier helpers that inline away — branch-dense with
+// short basic blocks.
+func Jack() *Workload {
+	return &Workload{
+		Name:  "Jack",
+		Suite: "SPECjvm98",
+		N:     24000,
+		TestN: 512,
+		Build: buildJack,
+		Ref:   refJack,
+	}
+}
+
+func buildJack() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Jack")
+
+	// isAlpha(ch): 10 <= ch < 36.
+	ab := ir.NewFunc("isAlpha", false)
+	ac := ab.Param("ch", ir.KindInt)
+	ab.Result(ir.KindInt)
+	ab.Block("entry")
+	yes := ab.DeclareBlock("yes")
+	mid := ab.DeclareBlock("mid")
+	no := ab.DeclareBlock("no")
+	ab.If(ir.CondGE, ir.Var(ac), ir.ConstInt(10), mid, no)
+	ab.SetBlock(mid)
+	ab.If(ir.CondLT, ir.Var(ac), ir.ConstInt(36), yes, no)
+	ab.SetBlock(yes)
+	ab.Return(ir.ConstInt(1))
+	ab.SetBlock(no)
+	ab.Return(ir.ConstInt(0))
+	isAlpha := p.AddMethod(nil, "isAlpha", ab.Finish(), false)
+
+	// isDigit(ch): ch < 10.
+	db2 := ir.NewFunc("isDigit", false)
+	dc := db2.Param("ch", ir.KindInt)
+	db2.Result(ir.KindInt)
+	db2.Block("entry")
+	dyes := db2.DeclareBlock("yes")
+	dno := db2.DeclareBlock("no")
+	db2.If(ir.CondLT, ir.Var(dc), ir.ConstInt(10), dyes, dno)
+	db2.SetBlock(dyes)
+	db2.Return(ir.ConstInt(1))
+	db2.SetBlock(dno)
+	db2.Return(ir.ConstInt(0))
+	isDigit := p.AddMethod(nil, "isDigit", db2.Finish(), false)
+
+	b, n := entry("Jack")
+	input := b.Local("input", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	state := b.Local("state", ir.KindInt) // 0 none, 1 ident, 2 number
+	idents := b.Local("idents", ir.KindInt)
+	numbers := b.Local("numbers", ir.KindInt)
+	curLen := b.Local("curLen", ir.KindInt)
+
+	b.NewArray(input, ir.Var(n))
+	b.Move(r, ir.ConstInt(1961))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		lcgNext(b, r)
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(48))
+		b.ArrayStore(input, ir.Var(i), ir.Var(v))
+	})
+
+	// Per-class token counters, updated through memory like jack's symbol
+	// tables (adds the array traffic a real tokenizer has).
+	counts := b.Local("counts", ir.KindRef)
+	b.NewArray(counts, ir.ConstInt(48))
+
+	b.Move(state, ir.ConstInt(0))
+	b.Move(idents, ir.ConstInt(0))
+	b.Move(numbers, ir.ConstInt(0))
+	b.Move(curLen, ir.ConstInt(0))
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		ch := b.Temp(ir.KindInt)
+		b.ArrayLoad(ch, input, ir.Var(i))
+		cc := b.Temp(ir.KindInt)
+		b.ArrayLoad(cc, counts, ir.Var(ch))
+		b.Binop(ir.OpAdd, cc, ir.Var(cc), ir.ConstInt(1))
+		b.ArrayStore(counts, ir.Var(ch), ir.Var(cc))
+		al := b.Temp(ir.KindInt)
+		b.CallStatic(al, isAlpha, ir.Var(ch))
+		dg := b.Temp(ir.KindInt)
+		b.CallStatic(dg, isDigit, ir.Var(ch))
+		ifThenElse(b, ir.CondNE, ir.Var(al), ir.ConstInt(0),
+			func() {
+				// Alphabetic: start or continue an identifier.
+				ifThenElse(b, ir.CondEQ, ir.Var(state), ir.ConstInt(1),
+					func() { b.Binop(ir.OpAdd, curLen, ir.Var(curLen), ir.ConstInt(1)) },
+					func() {
+						b.Move(state, ir.ConstInt(1))
+						b.Binop(ir.OpAdd, idents, ir.Var(idents), ir.ConstInt(1))
+						b.Move(curLen, ir.ConstInt(1))
+					})
+			},
+			func() {
+				ifThenElse(b, ir.CondNE, ir.Var(dg), ir.ConstInt(0),
+					func() {
+						// Digit continues an identifier, else forms a number.
+						ifThen(b, ir.CondNE, ir.Var(state), ir.ConstInt(1), func() {
+							ifThen(b, ir.CondNE, ir.Var(state), ir.ConstInt(2), func() {
+								b.Move(state, ir.ConstInt(2))
+								b.Binop(ir.OpAdd, numbers, ir.Var(numbers), ir.ConstInt(1))
+							})
+						})
+						b.Binop(ir.OpAdd, curLen, ir.Var(curLen), ir.ConstInt(1))
+					},
+					func() {
+						// Separator: close any token.
+						ifThen(b, ir.CondNE, ir.Var(state), ir.ConstInt(0), func() {
+							mix(b, s, ir.Var(curLen))
+							b.Move(state, ir.ConstInt(0))
+							b.Move(curLen, ir.ConstInt(0))
+						})
+					})
+			})
+	})
+	mix(b, s, ir.Var(idents))
+	mix(b, s, ir.Var(numbers))
+	forLoopStep(b, i, ir.ConstInt(0), ir.ConstInt(48), 8, func() {
+		cv := b.Temp(ir.KindInt)
+		b.ArrayLoad(cv, counts, ir.Var(i))
+		mix(b, s, ir.Var(cv))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refJack(n int64) int64 {
+	input := make([]int64, n)
+	r := int64(1961)
+	for i := range input {
+		r = lcgNextGo(r)
+		input[i] = r % 48
+	}
+	counts := make([]int64, 48)
+	state, idents, numbers, curLen := int64(0), int64(0), int64(0), int64(0)
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		ch := input[i]
+		counts[ch]++
+		isAl := ch >= 10 && ch < 36
+		isDg := ch < 10
+		switch {
+		case isAl:
+			if state == 1 {
+				curLen++
+			} else {
+				state = 1
+				idents++
+				curLen = 1
+			}
+		case isDg:
+			if state != 1 && state != 2 {
+				state = 2
+				numbers++
+			}
+			curLen++
+		default:
+			if state != 0 {
+				s = mixGo(s, curLen)
+				state = 0
+				curLen = 0
+			}
+		}
+	}
+	s = mixGo(s, idents)
+	s = mixGo(s, numbers)
+	for i := 0; i < 48; i += 8 {
+		s = mixGo(s, counts[i])
+	}
+	return s
+}

@@ -1,0 +1,226 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// MTRT mirrors SPECjvm98 _227_mtrt: a ray tracer whose hot loops call tiny
+// virtual accessor methods on vector and sphere objects. After
+// devirtualization + inlining, each call leaves an explicit null check
+// behind (Figure 1); the paper singles mtrt out as the workload where the
+// architecture-dependent phase 2 converts those checks into hardware traps
+// (§5.1: "particularly effective for mtrt after method inlining").
+func MTRT() *Workload {
+	return &Workload{
+		Name:  "MTRT",
+		Suite: "SPECjvm98",
+		N:     700,
+		TestN: 32,
+		Build: buildMTRT,
+		Ref:   refMTRT,
+	}
+}
+
+const mtrtSpheres = 8
+
+func buildMTRT() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("MTRT")
+	sphere := p.NewClass("Sphere",
+		&ir.Field{Name: "cx", Kind: ir.KindFloat},
+		&ir.Field{Name: "cy", Kind: ir.KindFloat},
+		&ir.Field{Name: "cz", Kind: ir.KindFloat},
+		&ir.Field{Name: "rr", Kind: ir.KindFloat}, // radius squared
+	)
+
+	// Virtual accessors — the mtrt pattern. coord(this, axis) has the
+	// Figure 1 shape: a range guard that returns without touching the
+	// receiver, so after inlining the devirtualization check's dereference
+	// is conditional. Only phase 2's forward motion can make the hot
+	// (dereferencing) paths free.
+	coordB := ir.NewFunc("coord", true)
+	cThis := coordB.Param("this", ir.KindRef)
+	cAxis := coordB.Param("axis", ir.KindInt)
+	coordB.Result(ir.KindFloat)
+	coordB.Block("entry")
+	chkHi := coordB.DeclareBlock("chk_hi")
+	ranged := coordB.DeclareBlock("ranged")
+	outOfRange := coordB.DeclareBlock("oor")
+	xBlk := coordB.DeclareBlock("x")
+	notX := coordB.DeclareBlock("notx")
+	yBlk := coordB.DeclareBlock("y")
+	zBlk := coordB.DeclareBlock("z")
+	coordB.If(ir.CondLT, ir.Var(cAxis), ir.ConstInt(0), outOfRange, chkHi)
+	coordB.SetBlock(chkHi)
+	coordB.If(ir.CondGE, ir.Var(cAxis), ir.ConstInt(3), outOfRange, ranged)
+	coordB.SetBlock(outOfRange)
+	coordB.Return(ir.ConstFloat(0))
+	coordB.SetBlock(ranged)
+	coordB.If(ir.CondEQ, ir.Var(cAxis), ir.ConstInt(0), xBlk, notX)
+	coordB.SetBlock(xBlk)
+	vx := coordB.Temp(ir.KindFloat)
+	coordB.GetField(vx, cThis, sphere.FieldByName("cx"))
+	coordB.Return(ir.Var(vx))
+	coordB.SetBlock(notX)
+	coordB.If(ir.CondEQ, ir.Var(cAxis), ir.ConstInt(1), yBlk, zBlk)
+	coordB.SetBlock(yBlk)
+	vy := coordB.Temp(ir.KindFloat)
+	coordB.GetField(vy, cThis, sphere.FieldByName("cy"))
+	coordB.Return(ir.Var(vy))
+	coordB.SetBlock(zBlk)
+	vz := coordB.Temp(ir.KindFloat)
+	coordB.GetField(vz, cThis, sphere.FieldByName("cz"))
+	coordB.Return(ir.Var(vz))
+	coord := p.AddMethod(sphere, "coord", coordB.Finish(), true)
+
+	radB := ir.NewFunc("radiusSq", true)
+	rThis := radB.Param("this", ir.KindRef)
+	radB.Result(ir.KindFloat)
+	radB.Block("entry")
+	rv := radB.Temp(ir.KindFloat)
+	radB.GetField(rv, rThis, sphere.FieldByName("rr"))
+	radB.Return(ir.Var(rv))
+	radiusSq := p.AddMethod(sphere, "radiusSq", radB.Finish(), true)
+
+	b, n := entry("MTRT")
+	spheres := b.Local("spheres", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	t := b.Local("t", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	hits := b.Local("hits", ir.KindInt)
+
+	// Scene setup.
+	b.NewArray(spheres, ir.ConstInt(mtrtSpheres))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(mtrtSpheres), func() {
+		o := b.Temp(ir.KindRef)
+		b.New(o, sphere)
+		f := b.Temp(ir.KindFloat)
+		b.Unop(ir.OpIntToFloat, f, ir.Var(i))
+		cx := b.Temp(ir.KindFloat)
+		b.Binop(ir.OpFMul, cx, ir.Var(f), ir.ConstFloat(0.75))
+		b.PutField(o, sphere.FieldByName("cx"), ir.Var(cx))
+		cy := b.Temp(ir.KindFloat)
+		b.Binop(ir.OpFSub, cy, ir.ConstFloat(2.0), ir.Var(f))
+		b.PutField(o, sphere.FieldByName("cy"), ir.Var(cy))
+		b.PutField(o, sphere.FieldByName("cz"), ir.ConstFloat(4.0))
+		rr := b.Temp(ir.KindFloat)
+		b.Binop(ir.OpFMul, rr, ir.ConstFloat(0.3), ir.Var(f))
+		b.Binop(ir.OpFAdd, rr, ir.Var(rr), ir.ConstFloat(1.0))
+		b.PutField(o, sphere.FieldByName("rr"), ir.Var(rr))
+		b.ArrayStore(spheres, ir.Var(i), ir.Var(o))
+	})
+
+	// Trace: for each ray, test every sphere via the accessors. The first
+	// accessor call uses a computed axis selector that is out of range for
+	// a quarter of the (ray, sphere) pairs; the caller then rejects the
+	// pair without touching the sphere again — so the inlined guard check
+	// is live on a path with no dereference, the Figure 1 situation that
+	// only phase 2's forward motion can optimize.
+	b.Move(s, ir.ConstInt(0))
+	b.Move(hits, ir.ConstInt(0))
+	forLoop(b, t, ir.ConstInt(0), ir.Var(n), func() {
+		// Ray direction from the ray index.
+		tf := b.Temp(ir.KindFloat)
+		b.Unop(ir.OpIntToFloat, tf, ir.Var(t))
+		dx := b.Local("dx", ir.KindFloat)
+		dy := b.Local("dy", ir.KindFloat)
+		b.Binop(ir.OpFMul, dx, ir.Var(tf), ir.ConstFloat(0.001))
+		b.Binop(ir.OpFSub, dy, ir.ConstFloat(0.5), ir.Var(dx))
+		forLoop(b, i, ir.ConstInt(0), ir.ConstInt(mtrtSpheres), func() {
+			o := b.Local("o", ir.KindRef)
+			b.ArrayLoad(o, spheres, ir.Var(i))
+			// sel in -1..2; -1 selects nothing and rejects the pair.
+			sel := b.Temp(ir.KindInt)
+			b.Binop(ir.OpAdd, sel, ir.Var(t), ir.Var(i))
+			b.Binop(ir.OpAnd, sel, ir.Var(sel), ir.ConstInt(3))
+			b.Binop(ir.OpSub, sel, ir.Var(sel), ir.ConstInt(1))
+			q := b.Temp(ir.KindFloat)
+			b.CallVirtual(q, coord, o, ir.Var(sel))
+			skip := b.DeclareBlock("skip_pair")
+			keep := b.DeclareBlock("keep_pair")
+			cont := b.DeclareBlock("pair_done")
+			b.If(ir.CondLT, ir.Var(sel), ir.ConstInt(0), skip, keep)
+			b.SetBlock(skip)
+			b.Jump(cont)
+			b.SetBlock(keep)
+			ox := b.Temp(ir.KindFloat)
+			b.Move(ox, ir.Var(q))
+			oy := b.Temp(ir.KindFloat)
+			b.CallVirtual(oy, coord, o, ir.ConstInt(1))
+			oz := b.Temp(ir.KindFloat)
+			b.CallVirtual(oz, coord, o, ir.ConstInt(2))
+			rr := b.Temp(ir.KindFloat)
+			b.CallVirtual(rr, radiusSq, o)
+			// Distance of sphere centre from the ray (approximate):
+			// d = (ox - dx)^2 + (oy - dy)^2 + (oz - 4)^2
+			t1 := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFSub, t1, ir.Var(ox), ir.Var(dx))
+			b.Binop(ir.OpFMul, t1, ir.Var(t1), ir.Var(t1))
+			t2 := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFSub, t2, ir.Var(oy), ir.Var(dy))
+			b.Binop(ir.OpFMul, t2, ir.Var(t2), ir.Var(t2))
+			t3 := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFSub, t3, ir.Var(oz), ir.ConstFloat(4.0))
+			b.Binop(ir.OpFMul, t3, ir.Var(t3), ir.Var(t3))
+			d := b.Temp(ir.KindFloat)
+			b.Binop(ir.OpFAdd, d, ir.Var(t1), ir.Var(t2))
+			b.Binop(ir.OpFAdd, d, ir.Var(d), ir.Var(t3))
+			ifThen(b, ir.CondLT, ir.Var(d), ir.Var(rr), func() {
+				b.Binop(ir.OpAdd, hits, ir.Var(hits), ir.ConstInt(1))
+				sc := b.Temp(ir.KindInt)
+				scaleF(b, sc, ir.Var(d))
+				mix(b, s, ir.Var(sc))
+			})
+			b.Jump(cont)
+			b.SetBlock(cont)
+		})
+	})
+	mix(b, s, ir.Var(hits))
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refMTRT(n int64) int64 {
+	type sphereT struct{ cx, cy, cz, rr float64 }
+	spheres := make([]sphereT, mtrtSpheres)
+	for i := range spheres {
+		f := float64(i)
+		spheres[i] = sphereT{
+			cx: f * 0.75,
+			cy: 2.0 - f,
+			cz: 4.0,
+			rr: 0.3*f + 1.0,
+		}
+	}
+	s, hits := int64(0), int64(0)
+	coordOf := func(o sphereT, axis int64) float64 {
+		switch axis {
+		case 0:
+			return o.cx
+		case 1:
+			return o.cy
+		case 2:
+			return o.cz
+		}
+		return 0
+	}
+	for t := int64(0); t < n; t++ {
+		dx := float64(t) * 0.001
+		dy := 0.5 - dx
+		for i := range spheres {
+			o := spheres[i]
+			sel := (t+int64(i))&3 - 1
+			if sel < 0 {
+				continue
+			}
+			q := coordOf(o, sel)
+			t1 := (q - dx) * (q - dx)
+			t2 := (o.cy - dy) * (o.cy - dy)
+			t3 := (o.cz - 4.0) * (o.cz - 4.0)
+			d := t1 + t2 + t3
+			if d < o.rr {
+				hits++
+				s = mixGo(s, scaleFGo(d))
+			}
+		}
+	}
+	s = mixGo(s, hits)
+	return s
+}

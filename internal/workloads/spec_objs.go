@@ -1,0 +1,416 @@
+package workloads
+
+import "trapnull/internal/ir"
+
+// Jess mirrors SPECjvm98 _202_jess: rule matching over an object graph — a
+// linked list of fact nodes tested against a rotating set of patterns
+// through a small virtual predicate. Pointer-chasing with explicit null
+// tests (the ifnull Edge rule) and inlined virtual calls.
+func Jess() *Workload {
+	return &Workload{
+		Name:  "Jess",
+		Suite: "SPECjvm98",
+		N:     1400,
+		TestN: 64,
+		Build: buildJess,
+		Ref:   refJess,
+	}
+}
+
+const jessFacts = 48
+
+func buildJess() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Jess")
+	node := p.NewClass("Fact",
+		&ir.Field{Name: "val", Kind: ir.KindInt},
+		&ir.Field{Name: "next", Kind: ir.KindRef},
+	)
+
+	// matches(this, pat): (this.val & pat) == pat.
+	mb := ir.NewFunc("matches", true)
+	mThis := mb.Param("this", ir.KindRef)
+	mPat := mb.Param("pat", ir.KindInt)
+	mb.Result(ir.KindInt)
+	mb.Block("entry")
+	v := mb.Temp(ir.KindInt)
+	mb.GetField(v, mThis, node.FieldByName("val"))
+	masked := mb.Temp(ir.KindInt)
+	mb.Binop(ir.OpAnd, masked, ir.Var(v), ir.Var(mPat))
+	yes := mb.DeclareBlock("yes")
+	no := mb.DeclareBlock("no")
+	mb.If(ir.CondEQ, ir.Var(masked), ir.Var(mPat), yes, no)
+	mb.SetBlock(yes)
+	mb.Return(ir.ConstInt(1))
+	mb.SetBlock(no)
+	mb.Return(ir.ConstInt(0))
+	matches := p.AddMethod(node, "matches", mb.Finish(), true)
+
+	b, n := entry("Jess")
+	head := b.Local("head", ir.KindRef)
+	cur := b.Local("cur", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	t := b.Local("t", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	// Build the fact list.
+	b.Move(head, ir.Null())
+	b.Move(r, ir.ConstInt(99))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(jessFacts), func() {
+		o := b.Temp(ir.KindRef)
+		b.New(o, node)
+		lcgNext(b, r)
+		fv := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, fv, ir.Var(r), ir.ConstInt(255))
+		b.PutField(o, node.FieldByName("val"), ir.Var(fv))
+		b.PutField(o, node.FieldByName("next"), ir.Var(head))
+		b.Move(head, ir.Var(o))
+	})
+
+	// Match loop.
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, t, ir.ConstInt(0), ir.Var(n), func() {
+		pat := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, pat, ir.Var(t), ir.ConstInt(63))
+		cnt := b.Local("cnt", ir.KindInt)
+		b.Move(cnt, ir.ConstInt(0))
+		b.Move(cur, ir.Var(head))
+		walkHead := b.DeclareBlock("walk_head")
+		walkBody := b.DeclareBlock("walk_body")
+		walkExit := b.DeclareBlock("walk_exit")
+		b.Jump(walkHead)
+		b.SetBlock(walkHead)
+		b.If(ir.CondEQ, ir.Var(cur), ir.Null(), walkExit, walkBody)
+		b.SetBlock(walkBody)
+		hit := b.Temp(ir.KindInt)
+		b.CallVirtual(hit, matches, cur, ir.Var(pat))
+		b.Binop(ir.OpAdd, cnt, ir.Var(cnt), ir.Var(hit))
+		b.GetField(cur, cur, node.FieldByName("next"))
+		b.Jump(walkHead)
+		b.SetBlock(walkExit)
+		mix(b, s, ir.Var(cnt))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refJess(n int64) int64 {
+	type fact struct {
+		val  int64
+		next *fact
+	}
+	var head *fact
+	r := int64(99)
+	for i := 0; i < jessFacts; i++ {
+		r = lcgNextGo(r)
+		head = &fact{val: r & 255, next: head}
+	}
+	s := int64(0)
+	for t := int64(0); t < n; t++ {
+		pat := t & 63
+		cnt := int64(0)
+		for cur := head; cur != nil; cur = cur.next {
+			if cur.val&pat == pat {
+				cnt++
+			}
+		}
+		s = mixGo(s, cnt)
+	}
+	return s
+}
+
+// DB mirrors SPECjvm98 _209_db: an in-memory record table shell-sorted by a
+// key accessor and scanned — field access through object arrays.
+func DB() *Workload {
+	return &Workload{
+		Name:  "DB",
+		Suite: "SPECjvm98",
+		N:     700,
+		TestN: 48,
+		Build: buildDB,
+		Ref:   refDB,
+	}
+}
+
+func buildDB() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("DB")
+	rec := p.NewClass("Record",
+		&ir.Field{Name: "key", Kind: ir.KindInt},
+		&ir.Field{Name: "val", Kind: ir.KindInt},
+	)
+
+	gb := ir.NewFunc("getKey", true)
+	gThis := gb.Param("this", ir.KindRef)
+	gb.Result(ir.KindInt)
+	gb.Block("entry")
+	gv := gb.Temp(ir.KindInt)
+	gb.GetField(gv, gThis, rec.FieldByName("key"))
+	gb.Return(ir.Var(gv))
+	getKey := p.AddMethod(rec, "getKey", gb.Finish(), true)
+
+	b, n := entry("DB")
+	arr := b.Local("arr", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	j := b.Local("j", ir.KindInt)
+	gap := b.Local("gap", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	b.NewArray(arr, ir.Var(n))
+	b.Move(r, ir.ConstInt(2024))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		o := b.Temp(ir.KindRef)
+		b.New(o, rec)
+		lcgNext(b, r)
+		k := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, k, ir.Var(r), ir.ConstInt(100000))
+		b.PutField(o, rec.FieldByName("key"), ir.Var(k))
+		b.PutField(o, rec.FieldByName("val"), ir.Var(i))
+		b.ArrayStore(arr, ir.Var(i), ir.Var(o))
+	})
+
+	// Shell sort by key.
+	b.Binop(ir.OpDiv, gap, ir.Var(n), ir.ConstInt(2))
+	gapHead := b.DeclareBlock("gap_head")
+	gapBody := b.DeclareBlock("gap_body")
+	gapExit := b.DeclareBlock("gap_exit")
+	b.Jump(gapHead)
+	b.SetBlock(gapHead)
+	b.If(ir.CondGT, ir.Var(gap), ir.ConstInt(0), gapBody, gapExit)
+	b.SetBlock(gapBody)
+	forLoop(b, i, ir.Var(gap), ir.Var(n), func() {
+		// Insertion within the gap chain.
+		b.Move(j, ir.Var(i))
+		insHead := b.DeclareBlock("ins_head")
+		insTest := b.DeclareBlock("ins_test")
+		insBody := b.DeclareBlock("ins_body")
+		insExit := b.DeclareBlock("ins_exit")
+		b.Jump(insHead)
+		b.SetBlock(insHead)
+		b.If(ir.CondGE, ir.Var(j), ir.Var(gap), insTest, insExit)
+		b.SetBlock(insTest)
+		jg := b.Temp(ir.KindInt)
+		b.Binop(ir.OpSub, jg, ir.Var(j), ir.Var(gap))
+		oa := b.Local("oa", ir.KindRef)
+		ob := b.Local("ob", ir.KindRef)
+		b.ArrayLoad(oa, arr, ir.Var(jg))
+		b.ArrayLoad(ob, arr, ir.Var(j))
+		ka := b.Temp(ir.KindInt)
+		b.CallVirtual(ka, getKey, oa)
+		kb := b.Temp(ir.KindInt)
+		b.CallVirtual(kb, getKey, ob)
+		b.If(ir.CondGT, ir.Var(ka), ir.Var(kb), insBody, insExit)
+		b.SetBlock(insBody)
+		b.ArrayStore(arr, ir.Var(jg), ir.Var(ob))
+		b.ArrayStore(arr, ir.Var(j), ir.Var(oa))
+		b.Binop(ir.OpSub, j, ir.Var(j), ir.Var(gap))
+		b.Jump(insHead)
+		b.SetBlock(insExit)
+	})
+	b.Binop(ir.OpDiv, gap, ir.Var(gap), ir.ConstInt(2))
+	b.Jump(gapHead)
+	b.SetBlock(gapExit)
+
+	// Scan: checksum keys in order and positions of values.
+	b.Move(s, ir.ConstInt(0))
+	forLoop(b, i, ir.ConstInt(0), ir.Var(n), func() {
+		o := b.Local("so", ir.KindRef)
+		b.ArrayLoad(o, arr, ir.Var(i))
+		k := b.Temp(ir.KindInt)
+		b.CallVirtual(k, getKey, o)
+		mix(b, s, ir.Var(k))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refDB(n int64) int64 {
+	type record struct{ key, val int64 }
+	arr := make([]*record, n)
+	r := int64(2024)
+	for i := int64(0); i < n; i++ {
+		r = lcgNextGo(r)
+		arr[i] = &record{key: r % 100000, val: i}
+	}
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			for j := i; j >= gap; j -= gap {
+				if arr[j-gap].key > arr[j].key {
+					arr[j-gap], arr[j] = arr[j], arr[j-gap]
+				} else {
+					break
+				}
+			}
+		}
+	}
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		s = mixGo(s, arr[i].key)
+	}
+	return s
+}
+
+// Javac mirrors SPECjvm98 _213_javac: repeated walks over an expression
+// tree of heap nodes — recursive descent with null tests at the leaves,
+// field-dense and branchy like a compiler front end.
+func Javac() *Workload {
+	return &Workload{
+		Name:  "Javac",
+		Suite: "SPECjvm98",
+		N:     800,
+		TestN: 48,
+		Build: buildJavac,
+		Ref:   refJavac,
+	}
+}
+
+const javacNodes = 127 // complete binary tree of depth 7
+
+func buildJavac() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("Javac")
+	node := p.NewClass("Node",
+		&ir.Field{Name: "kind", Kind: ir.KindInt},
+		&ir.Field{Name: "val", Kind: ir.KindInt},
+		&ir.Field{Name: "left", Kind: ir.KindRef},
+		&ir.Field{Name: "right", Kind: ir.KindRef},
+	)
+
+	// eval(node): recursive expression evaluation with a null base case.
+	eb := ir.NewFunc("eval", false)
+	eN := eb.Param("node", ir.KindRef)
+	eb.Result(ir.KindInt)
+	entryBlk := eb.Block("entry")
+	isNull := eb.DeclareBlock("isnull")
+	body := eb.DeclareBlock("body")
+	_ = entryBlk
+	eb.If(ir.CondEQ, ir.Var(eN), ir.Null(), isNull, body)
+	eb.SetBlock(isNull)
+	eb.Return(ir.ConstInt(0))
+	eb.SetBlock(body)
+	evalM := p.AddMethod(nil, "eval", nil, false)
+	kind := eb.Temp(ir.KindInt)
+	eb.GetField(kind, eN, node.FieldByName("kind"))
+	lch := eb.Temp(ir.KindRef)
+	eb.GetField(lch, eN, node.FieldByName("left"))
+	lv := eb.Temp(ir.KindInt)
+	eb.CallStatic(lv, evalM, ir.Var(lch))
+	rch := eb.Temp(ir.KindRef)
+	eb.GetField(rch, eN, node.FieldByName("right"))
+	rvv := eb.Temp(ir.KindInt)
+	eb.CallStatic(rvv, evalM, ir.Var(rch))
+	res := eb.Local("res", ir.KindInt)
+	ifThenElse(eb, ir.CondEQ, ir.Var(kind), ir.ConstInt(0),
+		func() { // leaf: own value
+			eb.GetField(res, eN, node.FieldByName("val"))
+		},
+		func() {
+			ifThenElse(eb, ir.CondEQ, ir.Var(kind), ir.ConstInt(1),
+				func() { eb.Binop(ir.OpAdd, res, ir.Var(lv), ir.Var(rvv)) },
+				func() {
+					eb.Binop(ir.OpSub, res, ir.Var(lv), ir.Var(rvv))
+					vv := eb.Temp(ir.KindInt)
+					eb.GetField(vv, eN, node.FieldByName("val"))
+					eb.Binop(ir.OpXor, res, ir.Var(res), ir.Var(vv))
+				})
+		})
+	eb.Return(ir.Var(res))
+	evalM.Fn = eb.Finish()
+	evalM.Fn.Method = evalM
+
+	b, n := entry("Javac")
+	pool := b.Local("pool", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	t := b.Local("t", ir.KindInt)
+	r := b.Local("r", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+
+	// Build the node pool and link it as a complete binary tree.
+	b.NewArray(pool, ir.ConstInt(javacNodes))
+	b.Move(r, ir.ConstInt(7))
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(javacNodes), func() {
+		o := b.Temp(ir.KindRef)
+		b.New(o, node)
+		lcgNext(b, r)
+		k := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, k, ir.Var(r), ir.ConstInt(3))
+		b.PutField(o, node.FieldByName("kind"), ir.Var(k))
+		v := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, v, ir.Var(r), ir.ConstInt(100))
+		b.PutField(o, node.FieldByName("val"), ir.Var(v))
+		b.ArrayStore(pool, ir.Var(i), ir.Var(o))
+	})
+	half := (javacNodes - 1) / 2
+	forLoop(b, i, ir.ConstInt(0), ir.ConstInt(int64(half)), func() {
+		par := b.Temp(ir.KindRef)
+		b.ArrayLoad(par, pool, ir.Var(i))
+		li := b.Temp(ir.KindInt)
+		b.Binop(ir.OpMul, li, ir.Var(i), ir.ConstInt(2))
+		b.Binop(ir.OpAdd, li, ir.Var(li), ir.ConstInt(1))
+		lc := b.Temp(ir.KindRef)
+		b.ArrayLoad(lc, pool, ir.Var(li))
+		b.PutField(par, node.FieldByName("left"), ir.Var(lc))
+		ri := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAdd, ri, ir.Var(li), ir.ConstInt(1))
+		rc := b.Temp(ir.KindRef)
+		b.ArrayLoad(rc, pool, ir.Var(ri))
+		b.PutField(par, node.FieldByName("right"), ir.Var(rc))
+	})
+
+	// Evaluation passes, perturbing one leaf per pass.
+	b.Move(s, ir.ConstInt(0))
+	root := b.Local("root", ir.KindRef)
+	b.ArrayLoad(root, pool, ir.ConstInt(0))
+	forLoop(b, t, ir.ConstInt(0), ir.Var(n), func() {
+		v := b.Temp(ir.KindInt)
+		b.CallStatic(v, evalM, ir.Var(root))
+		mix(b, s, ir.Var(v))
+		idx := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, idx, ir.Var(t), ir.ConstInt(javacNodes))
+		o := b.Temp(ir.KindRef)
+		b.ArrayLoad(o, pool, ir.Var(idx))
+		nv := b.Temp(ir.KindInt)
+		b.Binop(ir.OpAnd, nv, ir.Var(t), ir.ConstInt(31))
+		b.PutField(o, node.FieldByName("val"), ir.Var(nv))
+	})
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refJavac(n int64) int64 {
+	type nodeT struct {
+		kind, val   int64
+		left, right *nodeT
+	}
+	pool := make([]*nodeT, javacNodes)
+	r := int64(7)
+	for i := range pool {
+		r = lcgNextGo(r)
+		pool[i] = &nodeT{kind: r % 3, val: r % 100}
+	}
+	for i := 0; i < (javacNodes-1)/2; i++ {
+		pool[i].left = pool[2*i+1]
+		pool[i].right = pool[2*i+2]
+	}
+	var eval func(nd *nodeT) int64
+	eval = func(nd *nodeT) int64 {
+		if nd == nil {
+			return 0
+		}
+		lv := eval(nd.left)
+		rv := eval(nd.right)
+		switch nd.kind {
+		case 0:
+			return nd.val
+		case 1:
+			return lv + rv
+		default:
+			return (lv - rv) ^ nd.val
+		}
+	}
+	s := int64(0)
+	for t := int64(0); t < n; t++ {
+		s = mixGo(s, eval(pool[0]))
+		pool[t%javacNodes].val = t & 31
+	}
+	return s
+}

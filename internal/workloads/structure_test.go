@@ -1,0 +1,216 @@
+package workloads
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+)
+
+// opCount sums an opcode across every method body of a fresh build.
+func opCount(w *Workload, op ir.Op) int {
+	prog, _ := w.Build()
+	n := 0
+	for _, m := range prog.Methods {
+		if m.Fn != nil {
+			n += m.Fn.CountOp(op)
+		}
+	}
+	return n
+}
+
+// TestStructuralShapes pins each kernel to the code shape the paper's
+// narrative assigns it, so a refactor cannot silently hollow a workload out.
+func TestStructuralShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(t *testing.T, prog *ir.Program, entry *ir.Method)
+	}{
+		{"Assignment", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			// Two-dimensional walks: array loads that feed further array ops.
+			if n := e.Fn.CountOp(ir.OpArrayLoad); n < 8 {
+				t.Fatalf("Assignment has only %d array loads", n)
+			}
+		}},
+		{"LUDecomposition", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			if n := e.Fn.CountOp(ir.OpArrayLoad); n < 8 {
+				t.Fatalf("LU has only %d array loads", n)
+			}
+			if n := e.Fn.CountOp(ir.OpFDiv); n < 1 {
+				t.Fatal("LU lost its pivot division")
+			}
+		}},
+		{"MTRT", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			// The mtrt pattern: virtual accessor calls in the hot loop.
+			if n := e.Fn.CountOp(ir.OpCallVirtual); n < 4 {
+				t.Fatalf("MTRT has only %d virtual calls", n)
+			}
+			// The Figure 1 guard shape: the accessor has an early return.
+			coord := p.MethodByName("Sphere.coord")
+			if coord == nil {
+				t.Fatal("Sphere.coord missing")
+			}
+			if len(coord.Fn.Blocks) < 5 {
+				t.Fatalf("coord has %d blocks; the guarded shape needs more", len(coord.Fn.Blocks))
+			}
+		}},
+		{"NeuralNet", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			// The §5.4 lever: Math.exp as a bodyless intrinsic method call.
+			exp := p.MethodByName("Math.exp")
+			if exp == nil || exp.Intrinsic != ir.MathExp {
+				t.Fatal("NeuralNet lost its Math.exp intrinsic call")
+			}
+			if n := e.Fn.CountOp(ir.OpCallStatic); n < 1 {
+				t.Fatal("no static calls before intrinsification")
+			}
+		}},
+		{"Fourier", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			if p.MethodByName("Math.sin") == nil || p.MethodByName("Math.cos") == nil {
+				t.Fatal("Fourier lost its transcendental calls")
+			}
+		}},
+		{"FPEmulation", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			// The Figure 6 shape: a putfield precedes the coefficient reads
+			// within the loop body block.
+			found := false
+			for _, b := range e.Fn.Blocks {
+				sawStore := false
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpPutField {
+						sawStore = true
+					}
+					if in.Op == ir.OpArrayLoad && sawStore {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatal("FPEmulation lost its store-then-read loop shape")
+			}
+		}},
+		{"Jess", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			// Pointer chasing with a null loop test.
+			foundNullTest := false
+			for _, b := range e.Fn.Blocks {
+				if tm := b.Terminator(); tm != nil && tm.Op == ir.OpIf {
+					for _, a := range tm.Args {
+						if a.Kind == ir.OperConstNull {
+							foundNullTest = true
+						}
+					}
+				}
+			}
+			if !foundNullTest {
+				t.Fatal("Jess lost its null-terminated list walk")
+			}
+		}},
+		{"Javac", func(t *testing.T, p *ir.Program, e *ir.Method) {
+			// Recursive evaluation.
+			eval := p.MethodByName("eval")
+			if eval == nil {
+				t.Fatal("eval missing")
+			}
+			recursive := false
+			for _, b := range eval.Fn.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpCallStatic && in.Callee == eval {
+						recursive = true
+					}
+				}
+			}
+			if !recursive {
+				t.Fatal("Javac's eval is not recursive")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, entry := w.Build()
+			tc.check(t, prog, entry)
+		})
+	}
+}
+
+// TestEveryKernelCarriesChecks: before optimization, every kernel must
+// contain null checks (otherwise it measures nothing).
+func TestEveryKernelCarriesChecks(t *testing.T) {
+	for _, w := range All() {
+		if n := opCount(w, ir.OpNullCheck); n < 3 {
+			t.Errorf("%s has only %d null checks before optimization", w.Name, n)
+		}
+	}
+}
+
+// TestMultipleSizesMatchReference: the differential contract holds across
+// several problem sizes, not just TestN — catches size-dependent bugs like
+// loop-boundary mistakes.
+func TestMultipleSizesMatchReference(t *testing.T) {
+	model := arch.IA32Win()
+	cfg := jit.ConfigPhase1Phase2()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			sizes := []int64{w.TestN / 2, w.TestN, w.TestN + 7}
+			for _, n := range sizes {
+				if n < 1 {
+					n = 1
+				}
+				prog, entryM := w.Build()
+				if _, err := jit.CompileProgram(prog, cfg, model); err != nil {
+					t.Fatalf("n=%d: compile: %v", n, err)
+				}
+				m := machine.New(model, prog)
+				out, err := m.Call(entryM.Fn, n)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if out.Exc != rt.ExcNone {
+					t.Fatalf("n=%d: exception %v", n, out.Exc)
+				}
+				if want := w.Ref(n); out.Value != want {
+					t.Fatalf("n=%d: checksum %d, want %d", n, out.Value, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDynamicCheckEliminationIsSubstantial: across the whole suite, the full
+// configuration must remove the overwhelming majority of dynamic explicit
+// checks — the paper's core effect.
+func TestDynamicCheckEliminationIsSubstantial(t *testing.T) {
+	model := arch.IA32Win()
+	var baseChecks, fullChecks int64
+	for _, w := range All() {
+		run := func(cfg jit.Config) int64 {
+			prog, entryM := w.Build()
+			if _, err := jit.CompileProgram(prog, cfg, model); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			m := machine.New(model, prog)
+			if _, err := m.Call(entryM.Fn, w.TestN); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			return m.Stats.ExplicitChecks
+		}
+		baseChecks += run(jit.ConfigNoNullOptNoTrap())
+		fullChecks += run(jit.ConfigPhase1Phase2())
+	}
+	if baseChecks == 0 {
+		t.Fatal("baseline executed no checks at all")
+	}
+	ratio := float64(fullChecks) / float64(baseChecks)
+	if ratio > 0.10 {
+		t.Fatalf("full config retains %.1f%% of dynamic checks (want < 10%%): %d of %d",
+			ratio*100, fullChecks, baseChecks)
+	}
+	t.Logf("dynamic explicit checks: %d -> %d (%.2f%% retained)", baseChecks, fullChecks, ratio*100)
+}

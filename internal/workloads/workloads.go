@@ -1,0 +1,199 @@
+// Package workloads provides the benchmark kernels of the evaluation: ten
+// programs mirroring jBYTEmark v0.9 and seven mirroring SPECjvm98, each
+// built against the IR builder with the code shape the paper attributes to
+// the original (multidimensional array walks for Assignment / Neural Net /
+// LU Decomposition, tiny virtual accessors for mtrt, dense array loops for
+// compress, and so on — see DESIGN.md §2).
+//
+// Every workload carries a pure-Go reference implementation; the machine
+// must produce the same checksum under every configuration and architecture,
+// which is the repository's strongest end-to-end correctness check.
+package workloads
+
+import (
+	"fmt"
+
+	"trapnull/internal/ir"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name  string
+	Suite string // "jBYTEmark" or "SPECjvm98"
+	// Build returns a fresh program whose entry method takes one int
+	// parameter (the problem size) and returns an int checksum. A fresh
+	// program per call lets each configuration optimize in place.
+	Build func() (*ir.Program, *ir.Method)
+	// N is the benchmark problem size; TestN a fast size for tests.
+	N, TestN int64
+	// Ref computes the expected checksum in pure Go.
+	Ref func(n int64) int64
+}
+
+// JBYTEmark returns the ten jBYTEmark kernels in the paper's column order.
+func JBYTEmark() []*Workload {
+	return []*Workload{
+		NumericSort(),
+		StringSort(),
+		Bitfield(),
+		FPEmulation(),
+		Fourier(),
+		Assignment(),
+		IDEAEncryption(),
+		HuffmanCompression(),
+		NeuralNet(),
+		LUDecomposition(),
+	}
+}
+
+// SPECjvm98 returns the seven SPECjvm98 kernels in the paper's column order.
+func SPECjvm98() []*Workload {
+	return []*Workload{
+		MTRT(),
+		Jess(),
+		Compress(),
+		DB(),
+		MPEGAudio(),
+		Jack(),
+		Javac(),
+	}
+}
+
+// All returns every workload.
+func All() []*Workload {
+	return append(JBYTEmark(), SPECjvm98()...)
+}
+
+// ByName finds a workload by case-sensitive name.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// ---------------------------------------------------------------------------
+// Builder helpers shared by the kernels.
+
+// forLoop emits `for (i = start; i < limit; i++) body` in the rotated form
+// JITs produce: a guard branch, then a bottom-tested body. The guard→body
+// edge is the natural preheader that phase 1 and LICM fill.
+func forLoop(b *ir.Builder, i ir.VarID, start, limit ir.Operand, body func()) {
+	bodyBlk := b.DeclareBlock("for_body")
+	exitBlk := b.DeclareBlock("for_exit")
+	b.Move(i, start)
+	b.If(ir.CondLT, ir.Var(i), limit, bodyBlk, exitBlk)
+	b.SetBlock(bodyBlk)
+	body()
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), limit, bodyBlk, exitBlk)
+	b.SetBlock(exitBlk)
+}
+
+// forLoopStep is forLoop with an arbitrary positive step.
+func forLoopStep(b *ir.Builder, i ir.VarID, start, limit ir.Operand, step int64, body func()) {
+	bodyBlk := b.DeclareBlock("for_body")
+	exitBlk := b.DeclareBlock("for_exit")
+	b.Move(i, start)
+	b.If(ir.CondLT, ir.Var(i), limit, bodyBlk, exitBlk)
+	b.SetBlock(bodyBlk)
+	body()
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(step))
+	b.If(ir.CondLT, ir.Var(i), limit, bodyBlk, exitBlk)
+	b.SetBlock(exitBlk)
+}
+
+// ifThen emits `if (a cond b) then()` and continues after it.
+func ifThen(b *ir.Builder, cond ir.Cond, a, x ir.Operand, then func()) {
+	thenBlk := b.DeclareBlock("then")
+	contBlk := b.DeclareBlock("cont")
+	b.If(cond, a, x, thenBlk, contBlk)
+	b.SetBlock(thenBlk)
+	then()
+	b.Jump(contBlk)
+	b.SetBlock(contBlk)
+}
+
+// ifThenElse emits a full conditional and continues after it.
+func ifThenElse(b *ir.Builder, cond ir.Cond, a, x ir.Operand, then, els func()) {
+	thenBlk := b.DeclareBlock("then")
+	elseBlk := b.DeclareBlock("else")
+	contBlk := b.DeclareBlock("cont")
+	b.If(cond, a, x, thenBlk, elseBlk)
+	b.SetBlock(thenBlk)
+	then()
+	b.Jump(contBlk)
+	b.SetBlock(elseBlk)
+	els()
+	b.Jump(contBlk)
+	b.SetBlock(contBlk)
+}
+
+// lcgNext emits r = (r*1103515245 + 12345) & 0x7fffffff, the shared PRNG.
+func lcgNext(b *ir.Builder, r ir.VarID) {
+	b.Binop(ir.OpMul, r, ir.Var(r), ir.ConstInt(1103515245))
+	b.Binop(ir.OpAdd, r, ir.Var(r), ir.ConstInt(12345))
+	b.Binop(ir.OpAnd, r, ir.Var(r), ir.ConstInt(0x7fffffff))
+}
+
+// lcgNextGo is the Go mirror of lcgNext.
+func lcgNextGo(r int64) int64 {
+	return (r*1103515245 + 12345) & 0x7fffffff
+}
+
+// mix emits s = s*31 + x, the shared checksum fold.
+func mix(b *ir.Builder, s ir.VarID, x ir.Operand) {
+	b.Binop(ir.OpMul, s, ir.Var(s), ir.ConstInt(31))
+	b.Binop(ir.OpAdd, s, ir.Var(s), x)
+}
+
+// mixGo is the Go mirror of mix.
+func mixGo(s, x int64) int64 { return s*31 + x }
+
+// scaleF emits dst = int(x * 1000) for float checksumming.
+func scaleF(b *ir.Builder, dst ir.VarID, x ir.Operand) {
+	t := b.Temp(ir.KindFloat)
+	b.Binop(ir.OpFMul, t, x, ir.ConstFloat(1000))
+	b.Unop(ir.OpFloatToInt, dst, ir.Var(t))
+}
+
+// scaleFGo is the Go mirror of scaleF.
+func scaleFGo(x float64) int64 { return int64(x * 1000) }
+
+// entry starts a workload entry function `int main(int n)`.
+func entry(name string) (*ir.Builder, ir.VarID) {
+	b := ir.NewFunc(name+".main", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	return b, n
+}
+
+// register adds the finished entry as a static method.
+func register(p *ir.Program, b *ir.Builder) *ir.Method {
+	return p.AddMethod(nil, b.F.Name, b.Finish(), false)
+}
+
+// mathExpMethod declares the runtime Math.exp (intrinsified on models with
+// the instruction, a call barrier elsewhere — the §5.4 platform split).
+func mathExpMethod(p *ir.Program) *ir.Method {
+	m := p.AddMethod(nil, "Math.exp", nil, false)
+	m.Intrinsic = ir.MathExp
+	return m
+}
+
+// mathSinMethod declares the runtime Math.sin.
+func mathSinMethod(p *ir.Program) *ir.Method {
+	m := p.AddMethod(nil, "Math.sin", nil, false)
+	m.Intrinsic = ir.MathSin
+	return m
+}
+
+// mathCosMethod declares the runtime Math.cos.
+func mathCosMethod(p *ir.Program) *ir.Method {
+	m := p.AddMethod(nil, "Math.cos", nil, false)
+	m.Intrinsic = ir.MathCos
+	return m
+}

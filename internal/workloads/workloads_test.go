@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+)
+
+func TestWorkloadsValidate(t *testing.T) {
+	for _, w := range All() {
+		prog, entryM := w.Build()
+		if entryM == nil || entryM.Fn == nil {
+			t.Fatalf("%s: no entry", w.Name)
+		}
+		for _, m := range prog.Methods {
+			if m.Fn == nil {
+				continue
+			}
+			if err := ir.Validate(m.Fn); err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, m.QualifiedName(), err)
+			}
+		}
+	}
+}
+
+func TestWorkloadsMatchReferenceUnoptimized(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, entryM := w.Build()
+			m := machine.New(arch.IA32Win(), prog)
+			out, err := m.Call(entryM.Fn, w.TestN)
+			if err != nil {
+				t.Fatalf("execution error: %v", err)
+			}
+			if out.Exc != rt.ExcNone {
+				t.Fatalf("unexpected exception: %v", out.Exc)
+			}
+			want := w.Ref(w.TestN)
+			if out.Value != want {
+				t.Fatalf("checksum = %d, want %d", out.Value, want)
+			}
+		})
+	}
+}
+
+// TestWorkloadsUnderAllConfigs is the repository's central end-to-end check:
+// every workload must compute the identical checksum under every JIT
+// configuration on its matching architecture — including the deliberately
+// illegal one, whose missed NPEs never fire because the workloads do not
+// dereference null.
+func TestWorkloadsUnderAllConfigs(t *testing.T) {
+	type platform struct {
+		model   *arch.Model
+		configs []jit.Config
+	}
+	platforms := []platform{
+		{arch.IA32Win(), jit.WindowsConfigs()},
+		{arch.PPCAIX(), jit.AIXConfigs()},
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want := w.Ref(w.TestN)
+			for _, pl := range platforms {
+				for _, cfg := range pl.configs {
+					prog, entryM := w.Build()
+					res, err := jit.CompileProgram(prog, cfg, pl.model)
+					if err != nil {
+						t.Fatalf("[%s/%s] compile: %v", pl.model.Name, cfg.Name, err)
+					}
+					if res.FuncsCompiled == 0 {
+						t.Fatalf("[%s/%s] compiled nothing", pl.model.Name, cfg.Name)
+					}
+					m := machine.New(pl.model, prog)
+					out, err := m.Call(entryM.Fn, w.TestN)
+					if err != nil {
+						t.Fatalf("[%s/%s] run: %v", pl.model.Name, cfg.Name, err)
+					}
+					if out.Exc != rt.ExcNone {
+						t.Fatalf("[%s/%s] exception: %v", pl.model.Name, cfg.Name, out.Exc)
+					}
+					if out.Value != want {
+						t.Fatalf("[%s/%s] checksum = %d, want %d",
+							pl.model.Name, cfg.Name, out.Value, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizationReducesChecksDynamically: on every workload, the full new
+// algorithm must execute no more explicit checks than the no-optimization
+// baseline, and for the array/field-dense kernels strictly fewer.
+func TestOptimizationReducesChecksDynamically(t *testing.T) {
+	model := arch.IA32Win()
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			run := func(cfg jit.Config) machine.ExecStats {
+				prog, entryM := w.Build()
+				if _, err := jit.CompileProgram(prog, cfg, model); err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				m := machine.New(model, prog)
+				if _, err := m.Call(entryM.Fn, w.TestN); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return m.Stats
+			}
+			base := run(jit.ConfigNoNullOptNoTrap())
+			full := run(jit.ConfigPhase1Phase2())
+			if full.ExplicitChecks > base.ExplicitChecks {
+				t.Fatalf("full opt executes more checks: %d > %d",
+					full.ExplicitChecks, base.ExplicitChecks)
+			}
+			if base.ExplicitChecks > 0 && full.ExplicitChecks == base.ExplicitChecks {
+				t.Logf("note: no dynamic check reduction (%d)", base.ExplicitChecks)
+			}
+		})
+	}
+}
+
+// TestCycleOrderingOnKeyWorkloads: the headline shape of Table 1 — each
+// stronger configuration is at least as fast (never slower beyond noise;
+// cycles are deterministic here so the comparison is exact).
+func TestCycleOrderingOnKeyWorkloads(t *testing.T) {
+	model := arch.IA32Win()
+	for _, name := range []string{"Assignment", "NeuralNet", "LUDecomposition", "MTRT", "Bitfield"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles := func(cfg jit.Config) int64 {
+			prog, entryM := w.Build()
+			if _, err := jit.CompileProgram(prog, cfg, model); err != nil {
+				t.Fatalf("%s compile: %v", name, err)
+			}
+			m := machine.New(model, prog)
+			if _, err := m.Call(entryM.Fn, w.TestN); err != nil {
+				t.Fatalf("%s run: %v", name, err)
+			}
+			return m.Cycles
+		}
+		noOpt := cycles(jit.ConfigNoNullOptNoTrap())
+		trap := cycles(jit.ConfigNoNullOptTrap())
+		old := cycles(jit.ConfigOldNullCheck())
+		p1 := cycles(jit.ConfigPhase1Only())
+		full := cycles(jit.ConfigPhase1Phase2())
+		if !(full <= p1 && p1 <= old && old <= trap && trap <= noOpt) {
+			t.Fatalf("%s: cycle ordering violated: full=%d p1=%d old=%d trap=%d noopt=%d",
+				name, full, p1, old, trap, noOpt)
+		}
+		if full >= noOpt {
+			t.Fatalf("%s: no improvement at all: full=%d noopt=%d", name, full, noOpt)
+		}
+	}
+}
