@@ -1,0 +1,12 @@
+#!/bin/sh
+# Repository gate: vet, build everything, and run the full test suite —
+# including the randprog differential fuzz loops — under the race detector.
+# The parallel bench harness and the per-Machine prepared-instruction cache
+# are only trustworthy if this stays clean.
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race ./...

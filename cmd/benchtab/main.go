@@ -8,27 +8,61 @@
 //	benchtab -figure 8            # just Figure 8
 //	benchtab -quick               # small problem sizes (fast smoke run)
 //	benchtab -reps 9              # compile-time measurement repetitions
+//	benchtab -parallel 8          # sweep cells on 8 workers (0 = GOMAXPROCS)
+//	benchtab -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"trapnull/internal/bench"
 )
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "render every table and figure")
-		table     = flag.Int("table", 0, "render one table (1-7)")
-		figure    = flag.Int("figure", 0, "render one figure (8-15)")
-		quick     = flag.Bool("quick", false, "use small problem sizes")
-		reps      = flag.Int("reps", 5, "compile-time measurement repetitions")
-		ablations = flag.Bool("ablations", false, "run the ablation experiments instead")
-		asJSON    = flag.Bool("json", false, "emit the full report as JSON")
+		all        = flag.Bool("all", false, "render every table and figure")
+		table      = flag.Int("table", 0, "render one table (1-7)")
+		figure     = flag.Int("figure", 0, "render one figure (8-15)")
+		quick      = flag.Bool("quick", false, "use small problem sizes")
+		reps       = flag.Int("reps", 5, "compile-time measurement repetitions")
+		parallel   = flag.Int("parallel", 0, "concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		ablations  = flag.Bool("ablations", false, "run the ablation experiments instead")
+		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			}
+		}()
+	}
 
 	if *ablations {
 		out, err := bench.Ablations(*quick)
@@ -44,7 +78,7 @@ func main() {
 		*all = true
 	}
 
-	rep, err := bench.RunAll(bench.Options{Quick: *quick, CompileReps: *reps})
+	rep, err := bench.RunAll(bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 		os.Exit(1)

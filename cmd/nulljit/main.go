@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"trapnull/internal/arch"
@@ -69,8 +70,16 @@ func main() {
 		dump   = flag.Bool("dump", false, "print the whole optimized program as jasm source")
 		list   = flag.Bool("list", false, "list workloads and exit")
 		before = flag.Bool("print-before", false, "print the unoptimized entry function IR")
+		prof   = flag.String("cpuprofile", "", "write a CPU profile of compile+run to this file")
 	)
 	flag.Parse()
+
+	if *prof != "" {
+		f, err := os.Create(*prof)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
 
 	if *list {
 		for _, w := range workloads.All() {

@@ -7,6 +7,8 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"trapnull/internal/arch"
@@ -62,9 +64,32 @@ type Options struct {
 	// CompileReps measures compilation this many times and keeps the
 	// fastest, stabilizing the µs-scale timings of Tables 3–5. Minimum 1.
 	CompileReps int
+	// Parallelism bounds how many (config, workload) cells run
+	// concurrently: 0 means GOMAXPROCS, 1 forces the serial sweep. Every
+	// cell gets its own Machine and Heap, and each cell's compile timing
+	// runs start-to-finish on its own goroutine with CompileReps
+	// unchanged, so per-phase compile accounting (Tables 3–5) stays valid.
+	Parallelism int
 }
 
-// Run sweeps configs × workloads on the model.
+func (o Options) workers(total int) int {
+	n := o.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > total {
+		n = total
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run sweeps configs × workloads on the model, fanning cells out to a
+// bounded worker pool. Results land in slots pre-sized by (config, workload)
+// index, so the assembled matrix — and everything rendered from it — is
+// identical to the serial sweep regardless of completion order.
 func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts Options) (*Matrix, error) {
 	if opts.CompileReps < 1 {
 		opts.CompileReps = 1
@@ -76,15 +101,45 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 		Quick:     opts.Quick,
 		Cells:     make(map[string]map[string]*Cell),
 	}
-	for _, cfg := range configs {
+
+	type job struct{ ci, wi int }
+	total := len(configs) * len(ws)
+	cells := make([][]*Cell, len(configs))
+	errs := make([][]error, len(configs))
+	for ci := range configs {
+		cells[ci] = make([]*Cell, len(ws))
+		errs[ci] = make([]error, len(ws))
+	}
+
+	jobs := make(chan job, total)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.workers(total); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cells[j.ci][j.wi], errs[j.ci][j.wi] = runOne(model, configs[j.ci], ws[j.wi], opts)
+			}
+		}()
+	}
+	for ci := range configs {
+		for wi := range ws {
+			jobs <- job{ci, wi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble in declaration order; report the first failure by (config,
+	// workload) position so errors are deterministic too.
+	for ci, cfg := range configs {
 		row := make(map[string]*Cell, len(ws))
 		m.Cells[cfg.Name] = row
-		for _, w := range ws {
-			cell, err := runOne(model, cfg, w, opts)
-			if err != nil {
+		for wi, w := range ws {
+			if err := errs[ci][wi]; err != nil {
 				return nil, fmt.Errorf("bench: %s/%s: %w", cfg.Name, w.Name, err)
 			}
-			row[w.Name] = cell
+			row[w.Name] = cells[ci][wi]
 		}
 	}
 	return m, nil

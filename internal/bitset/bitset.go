@@ -36,6 +36,24 @@ func NewFull(n int) *Set {
 	return s
 }
 
+// NewSlab returns count independent empty sets of size n carved out of a
+// single backing allocation. A data-flow solver materializing In/Out sets for
+// every block of a large function allocates twice instead of 2×count times.
+func NewSlab(count, n int) []*Set {
+	if n < 0 || count < 0 {
+		panic(fmt.Sprintf("bitset: negative slab dimensions %d×%d", count, n))
+	}
+	words := (n + wordBits - 1) / wordBits
+	backing := make([]uint64, count*words)
+	hdrs := make([]Set, count)
+	out := make([]*Set, count)
+	for i := range hdrs {
+		hdrs[i] = Set{n: n, words: backing[i*words : (i+1)*words : (i+1)*words]}
+		out[i] = &hdrs[i]
+	}
+	return out
+}
+
 // Len returns the number of elements the set can hold.
 func (s *Set) Len() int { return s.n }
 
@@ -147,6 +165,54 @@ func (s *Set) Subtract(t *Set) bool {
 	return changed
 }
 
+// UnionWith sets s = a ∪ b. The receiver may alias either operand; the
+// three-operand form lets data-flow transfer functions combine sets without a
+// temporary copy.
+func (s *Set) UnionWith(a, b *Set) {
+	s.sameSize(a)
+	s.sameSize(b)
+	for i := range s.words {
+		s.words[i] = a.words[i] | b.words[i]
+	}
+}
+
+// IntersectWith sets s = a ∩ b. The receiver may alias either operand.
+func (s *Set) IntersectWith(a, b *Set) {
+	s.sameSize(a)
+	s.sameSize(b)
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// SubtractInto sets dst = s − t without modifying s. dst may alias either
+// operand.
+func (s *Set) SubtractInto(t, dst *Set) {
+	s.sameSize(t)
+	s.sameSize(dst)
+	for i := range s.words {
+		dst.words[i] = s.words[i] &^ t.words[i]
+	}
+}
+
+// TransferInto sets s = (in − kill) ∪ gen — the standard gen/kill transfer
+// function fused into one pass — and reports whether s changed. The receiver
+// may alias in.
+func (s *Set) TransferInto(in, kill, gen *Set) bool {
+	s.sameSize(in)
+	s.sameSize(kill)
+	s.sameSize(gen)
+	changed := false
+	for i := range s.words {
+		nw := (in.words[i] &^ kill.words[i]) | gen.words[i]
+		if nw != s.words[i] {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
 // Complement sets s = ¬s.
 func (s *Set) Complement() {
 	for i := range s.words {
@@ -185,6 +251,28 @@ func (s *Set) Count() int {
 		c += bits.OnesCount64(w)
 	}
 	return c
+}
+
+// NextSet returns the smallest set bit ≥ i, or -1 when none exists. A
+// priority worklist over dense indices pops its minimum element with it.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
 }
 
 // ForEach calls f for every set bit in ascending order.

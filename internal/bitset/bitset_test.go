@@ -241,3 +241,132 @@ func TestQuickCountMatchesElems(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuickThreeOperandOps(t *testing.T) {
+	// UnionWith / IntersectWith / SubtractInto match their two-operand
+	// counterparts, including when the destination aliases an operand.
+	f := func(seedA, seedB int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		a := randomSet(n, seedA)
+		b := randomSet(n, seedB)
+
+		union := New(n)
+		union.UnionWith(a, b)
+		wantU := a.Copy()
+		wantU.Union(b)
+
+		inter := New(n)
+		inter.IntersectWith(a, b)
+		wantI := a.Copy()
+		wantI.Intersect(b)
+
+		diff := New(n)
+		a.SubtractInto(b, diff)
+		wantD := a.Copy()
+		wantD.Subtract(b)
+
+		aliased := a.Copy()
+		aliased.UnionWith(aliased, b)
+
+		selfDiff := a.Copy()
+		selfDiff.SubtractInto(b, selfDiff)
+
+		return union.Equal(wantU) && inter.Equal(wantI) && diff.Equal(wantD) &&
+			aliased.Equal(wantU) && selfDiff.Equal(wantD)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransferInto(t *testing.T) {
+	// s.TransferInto(in, kill, gen) == (in − kill) ∪ gen, with an exact
+	// changed report.
+	f := func(seedIn, seedKill, seedGen int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		in := randomSet(n, seedIn)
+		kill := randomSet(n, seedKill)
+		gen := randomSet(n, seedGen)
+
+		want := in.Copy()
+		want.Subtract(kill)
+		want.Union(gen)
+
+		s := randomSet(n, seedIn^seedGen)
+		wasEqual := s.Equal(want)
+		changed := s.TransferInto(in, kill, gen)
+		if !s.Equal(want) {
+			return false
+		}
+		if changed == wasEqual {
+			return false // changed must mean "s differed beforehand"
+		}
+		// A second application is a no-op.
+		return !s.TransferInto(in, kill, gen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 3, 64, 127, 128, 199} {
+		s.Add(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 0}, {1, 3}, {3, 3}, {4, 64}, {65, 127}, {128, 128}, {129, 199},
+		{199, 199}, {-5, 0},
+	}
+	for _, tc := range cases {
+		if got := s.NextSet(tc.from); got != tc.want {
+			t.Errorf("NextSet(%d) = %d, want %d", tc.from, got, tc.want)
+		}
+	}
+	if got := New(64).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+	if got := s.NextSet(200); got != -1 {
+		t.Errorf("NextSet past end = %d, want -1", got)
+	}
+}
+
+func TestNextSetExhaustive(t *testing.T) {
+	s := randomSet(130, 42)
+	for from := 0; from <= 130; from++ {
+		want := -1
+		for i := from; i < 130; i++ {
+			if s.Has(i) {
+				want = i
+				break
+			}
+		}
+		if got := s.NextSet(from); got != want {
+			t.Fatalf("NextSet(%d) = %d, want %d", from, got, want)
+		}
+	}
+}
+
+func TestNewSlab(t *testing.T) {
+	sets := NewSlab(5, 70)
+	if len(sets) != 5 {
+		t.Fatalf("len = %d, want 5", len(sets))
+	}
+	for i, s := range sets {
+		if s.Len() != 70 || !s.IsEmpty() {
+			t.Fatalf("set %d: len=%d empty=%v", i, s.Len(), s.IsEmpty())
+		}
+	}
+	// Sets must be independent despite the shared backing.
+	sets[1].Fill()
+	sets[3].Add(69)
+	if !sets[0].IsEmpty() || !sets[2].IsEmpty() || !sets[4].IsEmpty() {
+		t.Fatal("slab neighbors leaked bits")
+	}
+	if sets[1].Count() != 70 || sets[3].Count() != 1 {
+		t.Fatalf("counts: %d, %d", sets[1].Count(), sets[3].Count())
+	}
+	if got := NewSlab(0, 10); len(got) != 0 {
+		t.Fatalf("empty slab: %d sets", len(got))
+	}
+}

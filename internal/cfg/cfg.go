@@ -50,6 +50,36 @@ func rpo(f *ir.Func, withHandlers bool) []*ir.Block {
 	return post
 }
 
+// Numbering is a reverse-postorder numbering of the reachable blocks: Order
+// is the RPO sequence and Pos maps Block.ID (densely) to the block's position
+// in it, or -1 for unreachable blocks. Worklist data-flow solvers use the
+// positions as processing priorities: forward problems on reducible CFGs
+// converge in near one pass when blocks are drained in ascending RPO.
+type Numbering struct {
+	Order []*ir.Block
+	Pos   []int32 // indexed by Block.ID; -1 = unreachable
+}
+
+// Reaches reports whether b was reached by the numbering traversal.
+func (n *Numbering) Reaches(b *ir.Block) bool {
+	return b.ID < len(n.Pos) && n.Pos[b.ID] >= 0
+}
+
+// NumberReversePostorder numbers the blocks reachable from entry, rooting the
+// traversal additionally at every try-region handler when withHandlers is
+// set (the variant every analysis feeding a transformation wants).
+func NumberReversePostorder(f *ir.Func, withHandlers bool) *Numbering {
+	order := rpo(f, withHandlers)
+	pos := make([]int32, f.MaxBlockID()+1)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, b := range order {
+		pos[b.ID] = int32(i)
+	}
+	return &Numbering{Order: order, Pos: pos}
+}
+
 // Reachable returns the set of blocks reachable from entry.
 func Reachable(f *ir.Func) map[*ir.Block]bool {
 	seen := make(map[*ir.Block]bool, len(f.Blocks))

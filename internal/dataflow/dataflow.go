@@ -3,6 +3,14 @@
 // forward non-null, §4.2.1 forward motion, §4.2.2 backward substitutable)
 // instantiate it with their own Gen/Kill/Edge functions over variable-indexed
 // sets.
+//
+// The solver is a priority worklist: blocks are drained in reverse-postorder
+// position (postorder position for backward problems), and a block is
+// re-enqueued only when the output of a neighbor it depends on actually
+// changes. On reducible CFGs forward problems converge in near one pass, and
+// the per-block state lives in dense slices indexed by Block.ID with all
+// meets performed in place — the solver allocates nothing per iteration.
+// Compile time is itself a measured quantity here (Tables 3–5).
 package dataflow
 
 import (
@@ -33,7 +41,8 @@ const (
 // a whole block; EdgeSubtract removes elements crossing a specific edge (the
 // paper's Edge_try) and EdgeAdd injects elements on an edge (the paper's
 // Edge sets: ifnonnull outcomes, the `this` parameter). Either edge function
-// may be nil.
+// may be nil. The solver does not retain the sets returned by the edge
+// functions, so callers may reuse a scratch set across calls.
 type Problem struct {
 	Dir      Direction
 	Meet     Meet
@@ -46,162 +55,195 @@ type Problem struct {
 	EdgeAdd      func(from, to *ir.Block) *bitset.Set
 }
 
-// Result holds the fixpoint In/Out sets per block.
+// Result holds the fixpoint In/Out sets, indexed densely by Block.ID.
 type Result struct {
-	In  map[*ir.Block]*bitset.Set
-	Out map[*ir.Block]*bitset.Set
+	in  []*bitset.Set
+	out []*bitset.Set
 }
+
+// In returns the fixpoint value at the entry of b.
+func (r *Result) In(b *ir.Block) *bitset.Set { return r.in[b.ID] }
+
+// Out returns the fixpoint value at the exit of b.
+func (r *Result) Out(b *ir.Block) *bitset.Set { return r.out[b.ID] }
 
 // GenKill adapts a combined per-block scan into the separate Gen/Kill
 // accessors of Problem, computing each block's summary exactly once. Every
 // analysis in this repository derives gen and kill from one walk over the
-// block, so this halves summary construction cost — compile time is itself a
-// measured quantity here (Tables 3–5).
+// block, so this halves summary construction cost. The cache is a dense
+// slice by Block.ID scoped to the returned closures — one Solve — so
+// repeated compilations neither rescan blocks nor retain summaries of
+// functions long gone.
 func GenKill(scan func(b *ir.Block) (gen, kill *bitset.Set)) (genFn, killFn func(*ir.Block) *bitset.Set) {
-	type pair struct{ gen, kill *bitset.Set }
-	cache := make(map[*ir.Block]pair)
-	get := func(b *ir.Block) pair {
-		if p, ok := cache[b]; ok {
-			return p
+	var gens, kills []*bitset.Set
+	get := func(b *ir.Block) (*bitset.Set, *bitset.Set) {
+		id := b.ID
+		if id >= len(gens) {
+			grown := make([]*bitset.Set, id+1)
+			copy(grown, gens)
+			gens = grown
+			grown = make([]*bitset.Set, id+1)
+			copy(grown, kills)
+			kills = grown
 		}
-		g, k := scan(b)
-		p := pair{g, k}
-		cache[b] = p
-		return p
+		if gens[id] == nil {
+			gens[id], kills[id] = scan(b)
+		}
+		return gens[id], kills[id]
 	}
-	return func(b *ir.Block) *bitset.Set { return get(b).gen },
-		func(b *ir.Block) *bitset.Set { return get(b).kill }
+	return func(b *ir.Block) *bitset.Set { g, _ := get(b); return g },
+		func(b *ir.Block) *bitset.Set { _, k := get(b); return k }
 }
 
-// Solve runs the iterative algorithm to a fixpoint over the reachable blocks
+// Solve runs the worklist algorithm to a fixpoint over the reachable blocks
 // of f. Unreachable blocks receive empty sets. The returned sets are owned by
 // the caller.
 func Solve(f *ir.Func, p *Problem) *Result {
 	// Handlers run even though no CFG edge reaches them; they participate
 	// in every analysis with a conservative (empty) entry value.
-	rpo := cfg.ReversePostorderWithHandlers(f)
-	order := rpo
+	num := cfg.NumberReversePostorder(f, true)
+
+	// byPrio orders blocks by processing priority: ascending RPO position
+	// for forward problems, descending (≈ postorder) for backward ones.
+	byPrio := num.Order
+	prio := num.Pos
 	if p.Dir == Backward {
-		order = make([]*ir.Block, len(rpo))
-		for i, b := range rpo {
-			order[len(rpo)-1-i] = b
+		n := len(num.Order)
+		byPrio = make([]*ir.Block, n)
+		prio = make([]int32, len(num.Pos))
+		copy(prio, num.Pos)
+		for i, b := range num.Order {
+			byPrio[n-1-i] = b
+			prio[b.ID] = int32(n - 1 - i)
 		}
-	}
-	reach := make(map[*ir.Block]bool, len(rpo))
-	for _, b := range rpo {
-		reach[b] = true
 	}
 
 	res := &Result{
-		In:  make(map[*ir.Block]*bitset.Set, len(f.Blocks)),
-		Out: make(map[*ir.Block]*bitset.Set, len(f.Blocks)),
+		in:  make([]*bitset.Set, f.MaxBlockID()+1),
+		out: make([]*bitset.Set, f.MaxBlockID()+1),
 	}
 	// Intersection problems start optimistic (full sets) so that loops reach
 	// the greatest fixpoint; union problems start empty for the least one.
 	// Unreachable blocks keep empty sets either way.
-	for _, b := range f.Blocks {
-		if p.Meet == Intersect && reach[b] {
-			res.In[b] = bitset.NewFull(p.Size)
-			res.Out[b] = bitset.NewFull(p.Size)
-		} else {
-			res.In[b] = bitset.New(p.Size)
-			res.Out[b] = bitset.New(p.Size)
+	slab := bitset.NewSlab(2*len(f.Blocks), p.Size)
+	for i, b := range f.Blocks {
+		res.in[b.ID] = slab[2*i]
+		res.out[b.ID] = slab[2*i+1]
+		if p.Meet == Intersect && num.Reaches(b) {
+			res.in[b.ID].Fill()
+			res.out[b.ID].Fill()
 		}
 	}
 
-	gen := make(map[*ir.Block]*bitset.Set, len(rpo))
-	kill := make(map[*ir.Block]*bitset.Set, len(rpo))
-	for _, b := range rpo {
-		gen[b] = p.Gen(b)
-		kill[b] = p.Kill(b)
+	gen := make([]*bitset.Set, f.MaxBlockID()+1)
+	kill := make([]*bitset.Set, f.MaxBlockID()+1)
+	for _, b := range num.Order {
+		gen[b.ID] = p.Gen(b)
+		kill[b.ID] = p.Kill(b)
 	}
 
 	boundary := p.Boundary
 	if boundary == nil {
 		boundary = bitset.New(p.Size)
 	}
+	empty := bitset.New(p.Size)
+	edgeScratch := bitset.New(p.Size)
 
-	// meetInput computes the confluence value flowing into block b.
-	// fallback is used when b has no reachable neighbors: the boundary value
-	// at the true CFG boundary, the empty set for handler entries (the state
-	// at an exception dispatch point is unknown, so nothing may be assumed).
-	meetInput := func(b *ir.Block, neighbors []*ir.Block, fallback *bitset.Set, edgeFrom func(n *ir.Block) (from, to *ir.Block), neighborVal func(n *ir.Block) *bitset.Set) *bitset.Set {
-		acc := bitset.New(p.Size)
-		first := true
-		for _, n := range neighbors {
-			if !reach[n] {
-				continue
-			}
-			v := neighborVal(n).Copy()
-			from, to := edgeFrom(n)
+	// meetFrom folds the (edge-adjusted) value of one reachable neighbor
+	// into acc. The first contribution is copied, later ones meet.
+	meetFrom := func(acc, v *bitset.Set, from, to *ir.Block, first bool) {
+		if p.EdgeAdd != nil || p.EdgeSubtract != nil {
+			edgeScratch.CopyFrom(v)
 			if p.EdgeAdd != nil {
 				if add := p.EdgeAdd(from, to); add != nil {
-					v.Union(add)
+					edgeScratch.Union(add)
 				}
 			}
 			if p.EdgeSubtract != nil {
 				if sub := p.EdgeSubtract(from, to); sub != nil {
-					v.Subtract(sub)
+					edgeScratch.Subtract(sub)
 				}
 			}
-			if first {
-				acc.CopyFrom(v)
-				first = false
-			} else if p.Meet == Intersect {
-				acc.Intersect(v)
-			} else {
-				acc.Union(v)
-			}
+			v = edgeScratch
 		}
-		if first {
-			acc.CopyFrom(fallback)
+		switch {
+		case first:
+			acc.CopyFrom(v)
+		case p.Meet == Intersect:
+			acc.Intersect(v)
+		default:
+			acc.Union(v)
 		}
-		return acc
 	}
-	empty := bitset.New(p.Size)
 
-	changed := true
-	for changed {
-		changed = false
-		for _, b := range order {
-			if p.Dir == Forward {
-				fallback := empty
-				if b == f.Entry {
-					fallback = boundary
+	// The worklist holds priority positions; popping the minimum processes
+	// blocks in convergence order. Seed it with every reachable block so
+	// each is visited at least once.
+	work := bitset.New(len(byPrio))
+	work.Fill()
+
+	for {
+		i := work.NextSet(0)
+		if i < 0 {
+			break
+		}
+		work.Remove(i)
+		b := byPrio[i]
+
+		if p.Dir == Forward {
+			// In(b) only depends on predecessor Outs, so the meet can
+			// accumulate directly into the stored set.
+			in := res.in[b.ID]
+			first := true
+			for _, pr := range b.Preds {
+				if !num.Reaches(pr) {
+					continue
 				}
-				in := meetInput(b, b.Preds, fallback,
-					func(n *ir.Block) (*ir.Block, *ir.Block) { return n, b },
-					func(n *ir.Block) *bitset.Set { return res.Out[n] })
-				if b == f.Entry {
-					// The entry's preds (if any, e.g. a loop back to entry)
-					// still meet with the boundary.
-					if len(b.Preds) == 0 {
-						in.CopyFrom(boundary)
-					} else if p.Meet == Intersect {
-						in.Intersect(boundary)
-					} else {
-						in.Union(boundary)
+				meetFrom(in, res.out[pr.ID], pr, b, first)
+				first = false
+			}
+			if b == f.Entry {
+				// The entry's preds (if any, e.g. a loop back to entry)
+				// still meet with the boundary.
+				switch {
+				case first:
+					in.CopyFrom(boundary)
+				case p.Meet == Intersect:
+					in.Intersect(boundary)
+				default:
+					in.Union(boundary)
+				}
+			} else if first {
+				// No reachable preds: handler entries assume nothing (the
+				// state at an exception dispatch point is unknown).
+				in.CopyFrom(empty)
+			}
+			if res.out[b.ID].TransferInto(in, kill[b.ID], gen[b.ID]) {
+				for _, s := range b.Succs {
+					if num.Reaches(s) {
+						work.Add(int(prio[s.ID]))
 					}
 				}
-				out := in.Copy()
-				out.Subtract(kill[b])
-				out.Union(gen[b])
-				if !in.Equal(res.In[b]) || !out.Equal(res.Out[b]) {
-					res.In[b].CopyFrom(in)
-					res.Out[b].CopyFrom(out)
-					changed = true
+			}
+		} else {
+			out := res.out[b.ID]
+			first := true
+			for _, s := range b.Succs {
+				if !num.Reaches(s) {
+					continue
 				}
-			} else {
-				out := meetInput(b, b.Succs, boundary,
-					func(n *ir.Block) (*ir.Block, *ir.Block) { return b, n },
-					func(n *ir.Block) *bitset.Set { return res.In[n] })
-				in := out.Copy()
-				in.Subtract(kill[b])
-				in.Union(gen[b])
-				if !in.Equal(res.In[b]) || !out.Equal(res.Out[b]) {
-					res.In[b].CopyFrom(in)
-					res.Out[b].CopyFrom(out)
-					changed = true
+				meetFrom(out, res.in[s.ID], b, s, first)
+				first = false
+			}
+			if first {
+				// Exits (and succ-less blocks generally) see the boundary.
+				out.CopyFrom(boundary)
+			}
+			if res.in[b.ID].TransferInto(out, kill[b.ID], gen[b.ID]) {
+				for _, pr := range b.Preds {
+					if num.Reaches(pr) {
+						work.Add(int(prio[pr.ID]))
+					}
 				}
 			}
 		}

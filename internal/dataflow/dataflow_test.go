@@ -72,10 +72,10 @@ func TestForwardUnionPropagates(t *testing.T) {
 		Gen:  constGen(gen, size),
 		Kill: constGen(nil, size),
 	})
-	if !res.In[blocks[2]].Has(1) {
-		t.Fatalf("bit 1 did not reach exit: In(exit) = %v", res.In[blocks[2]])
+	if !res.In(blocks[2]).Has(1) {
+		t.Fatalf("bit 1 did not reach exit: In(exit) = %v", res.In(blocks[2]))
 	}
-	if res.In[blocks[0]].Has(1) {
+	if res.In(blocks[0]).Has(1) {
 		t.Fatal("gen leaked into entry In")
 	}
 }
@@ -90,10 +90,10 @@ func TestForwardKillStopsPropagation(t *testing.T) {
 		Gen:  constGen(gen, size),
 		Kill: constGen(kill, size),
 	})
-	if res.In[blocks[2]].Has(1) {
+	if res.In(blocks[2]).Has(1) {
 		t.Fatal("killed bit reached exit")
 	}
-	if !res.In[blocks[1]].Has(1) {
+	if !res.In(blocks[1]).Has(1) {
 		t.Fatal("bit should reach mid's entry before being killed")
 	}
 }
@@ -129,7 +129,7 @@ func TestForwardIntersectAtMerge(t *testing.T) {
 			Gen:  constGen(gen, size),
 			Kill: constGen(nil, size),
 		})
-		if got := res.In[merge].Has(0); got != tc.want {
+		if got := res.In(merge).Has(0); got != tc.want {
 			t.Fatalf("meet=%v: In(merge).Has(0) = %v, want %v", tc.meet, got, tc.want)
 		}
 	}
@@ -147,10 +147,10 @@ func TestBackwardAnticipabilityThroughLoop(t *testing.T) {
 		Gen:  constGen(gen, size),
 		Kill: constGen(nil, size),
 	})
-	if !res.Out[m["header"]].Has(0) {
+	if !res.Out(m["header"]).Has(0) {
 		t.Fatal("bit generated on every path from header not anticipated at header exit")
 	}
-	if !res.Out[m["entry"]].Has(0) {
+	if !res.Out(m["entry"]).Has(0) {
 		t.Fatal("bit not anticipated at entry exit")
 	}
 	// A bit generated only in the body must not be anticipated at the header
@@ -161,7 +161,7 @@ func TestBackwardAnticipabilityThroughLoop(t *testing.T) {
 		Gen:  constGen(gen2, size),
 		Kill: constGen(nil, size),
 	})
-	if res2.Out[m["header"]].Has(1) {
+	if res2.Out(m["header"]).Has(1) {
 		t.Fatal("body-only bit wrongly anticipated at header exit")
 	}
 }
@@ -175,10 +175,10 @@ func TestBoundaryValueUsed(t *testing.T) {
 		Gen:      constGen(nil, size),
 		Kill:     constGen(nil, size),
 	})
-	if !res.In[blocks[0]].Has(2) {
+	if !res.In(blocks[0]).Has(2) {
 		t.Fatal("boundary bit missing from entry In")
 	}
-	if !res.Out[blocks[2]].Has(2) {
+	if !res.Out(blocks[2]).Has(2) {
 		t.Fatal("boundary bit did not flow to exit Out")
 	}
 }
@@ -198,10 +198,10 @@ func TestEdgeSubtract(t *testing.T) {
 			return nil
 		},
 	})
-	if !res.In[blocks[1]].Has(0) {
+	if !res.In(blocks[1]).Has(0) {
 		t.Fatal("bit should cross entry->mid")
 	}
-	if res.In[blocks[2]].Has(0) {
+	if res.In(blocks[2]).Has(0) {
 		t.Fatal("bit should be subtracted on mid->exit")
 	}
 }
@@ -220,13 +220,13 @@ func TestEdgeAdd(t *testing.T) {
 			return nil
 		},
 	})
-	if !res.In[blocks[1]].Has(1) {
+	if !res.In(blocks[1]).Has(1) {
 		t.Fatal("edge-added bit missing at mid")
 	}
-	if !res.In[blocks[2]].Has(1) {
+	if !res.In(blocks[2]).Has(1) {
 		t.Fatal("edge-added bit should keep flowing to exit")
 	}
-	if res.In[blocks[0]].Has(1) {
+	if res.In(blocks[0]).Has(1) {
 		t.Fatal("edge-added bit leaked to entry")
 	}
 }
@@ -242,7 +242,7 @@ func TestUnreachableBlocksGetEmptySets(t *testing.T) {
 		Gen:      constGen(nil, 4),
 		Kill:     constGen(nil, 4),
 	})
-	if !res.In[dead].IsEmpty() || !res.Out[dead].IsEmpty() {
+	if !res.In(dead).IsEmpty() || !res.Out(dead).IsEmpty() {
 		t.Fatal("unreachable block should have empty sets")
 	}
 }
@@ -307,15 +307,15 @@ func TestHandlerBlocksParticipateInAnalysis(t *testing.T) {
 		Gen:  constGen(genVals, size),
 		Kill: constGen(nil, size),
 	})
-	if !res.Out[handler].Has(2) {
+	if !res.Out(handler).Has(2) {
 		t.Fatal("handler block not analyzed")
 	}
-	if !res.In[after].Has(2) {
+	if !res.In(after).Has(2) {
 		t.Fatal("handler facts did not flow to its successor")
 	}
 	// The handler's In must be the conservative empty set, not the entry
 	// boundary.
-	if !res.In[handler].IsEmpty() {
-		t.Fatalf("handler In = %v, want empty", res.In[handler])
+	if !res.In(handler).IsEmpty() {
+		t.Fatalf("handler In = %v, want empty", res.In(handler))
 	}
 }

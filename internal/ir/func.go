@@ -109,6 +109,19 @@ func (f *Func) NewBlock(name string) *Block {
 	return b
 }
 
+// MaxBlockID returns the largest block ID in the function, or -1 when it has
+// no blocks. Block IDs are assigned sequentially and never reused, so dense
+// per-block tables are indexed by ID and sized MaxBlockID()+1.
+func (f *Func) MaxBlockID() int {
+	max := -1
+	for _, b := range f.Blocks {
+		if b.ID > max {
+			max = b.ID
+		}
+	}
+	return max
+}
+
 // NewRegion declares a try region with the given handler block.
 func (f *Func) NewRegion(handler *Block, excVar VarID) *TryRegion {
 	r := &TryRegion{ID: len(f.Regions), Handler: handler, ExcVar: excVar}

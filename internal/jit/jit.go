@@ -106,7 +106,10 @@ type Result struct {
 
 // CompileProgram optimizes every method body of prog (in place) under cfg
 // for execution on execModel. Workload constructors build a fresh program
-// per compilation, so in-place rewriting is safe.
+// per compilation, so in-place rewriting is safe. Calls on distinct programs
+// are safe to run concurrently: all statistics accumulate into the per-call
+// Result and neither this package nor the passes it drives keep mutable
+// package-level state — the parallel bench harness relies on this.
 func CompileProgram(prog *ir.Program, cfg Config, execModel *arch.Model) (*Result, error) {
 	res := &Result{Config: cfg}
 	for _, m := range prog.Methods {

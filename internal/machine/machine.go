@@ -44,6 +44,9 @@ type Machine struct {
 	MaxSteps int64
 
 	steps int64
+	// prepared caches per-function pre-decoded instruction tables; entries
+	// are keyed (and invalidated) by *ir.Func identity.
+	prepared map[*ir.Func]*pFunc
 }
 
 // New returns a machine for the given model and program.
@@ -53,6 +56,7 @@ func New(m *arch.Model, prog *ir.Program) *Machine {
 		Heap:     rt.NewHeap(1 << 16),
 		Prog:     prog,
 		MaxSteps: 2_000_000_000,
+		prepared: make(map[*ir.Func]*pFunc),
 	}
 }
 
@@ -91,12 +95,31 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 	}
 	locals := make([]int64, fn.NumLocals())
 	copy(locals, args)
+	pf := m.prepare(fn)
+
+	// Operands were pre-classified by prepare(); these helpers are the whole
+	// residue of the old per-step `switch o.Kind` decode.
+	val := func(p *pOp) int64 {
+		if p.varIdx >= 0 {
+			return locals[p.varIdx]
+		}
+		return p.i64
+	}
+	fval := func(p *pOp) float64 {
+		if p.varIdx >= 0 {
+			return math.Float64frombits(uint64(locals[p.varIdx]))
+		}
+		return p.f64
+	}
 
 	blk := fn.Entry
 	for {
 		var pending *raise
+		pins := pf.blocks[blk.ID]
 	instrLoop:
-		for _, in := range blk.Instrs {
+		for pi := range pins {
+			pin := &pins[pi]
+			in := pin.in
 			m.steps++
 			if m.steps > m.MaxSteps {
 				return Outcome{}, ErrStepLimit
@@ -107,88 +130,65 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 			}
 			m.Cycles += m.Arch.Cost(in)
 
-			val := func(o ir.Operand) int64 {
-				switch o.Kind {
-				case ir.OperVar:
-					return locals[o.Var]
-				case ir.OperConstInt:
-					return o.Int
-				case ir.OperConstFloat:
-					return int64(math.Float64bits(o.Float))
-				default: // null
-					return 0
-				}
-			}
-			fval := func(o ir.Operand) float64 {
-				switch o.Kind {
-				case ir.OperConstFloat:
-					return o.Float
-				case ir.OperConstInt:
-					return float64(o.Int)
-				default:
-					return math.Float64frombits(uint64(val(o)))
-				}
-			}
-
 			switch in.Op {
 			case ir.OpMove:
-				locals[in.Dst] = val(in.Args[0])
+				locals[in.Dst] = val(&pin.args[0])
 			case ir.OpAdd:
-				locals[in.Dst] = val(in.Args[0]) + val(in.Args[1])
+				locals[in.Dst] = val(&pin.args[0]) + val(&pin.args[1])
 			case ir.OpSub:
-				locals[in.Dst] = val(in.Args[0]) - val(in.Args[1])
+				locals[in.Dst] = val(&pin.args[0]) - val(&pin.args[1])
 			case ir.OpMul:
-				locals[in.Dst] = val(in.Args[0]) * val(in.Args[1])
+				locals[in.Dst] = val(&pin.args[0]) * val(&pin.args[1])
 			case ir.OpDiv, ir.OpRem:
-				d := val(in.Args[1])
+				d := val(&pin.args[1])
 				if d == 0 {
 					pending = m.throw(rt.ExcArithmetic)
 					break instrLoop
 				}
 				if in.Op == ir.OpDiv {
-					locals[in.Dst] = val(in.Args[0]) / d
+					locals[in.Dst] = val(&pin.args[0]) / d
 				} else {
-					locals[in.Dst] = val(in.Args[0]) % d
+					locals[in.Dst] = val(&pin.args[0]) % d
 				}
 			case ir.OpAnd:
-				locals[in.Dst] = val(in.Args[0]) & val(in.Args[1])
+				locals[in.Dst] = val(&pin.args[0]) & val(&pin.args[1])
 			case ir.OpOr:
-				locals[in.Dst] = val(in.Args[0]) | val(in.Args[1])
+				locals[in.Dst] = val(&pin.args[0]) | val(&pin.args[1])
 			case ir.OpXor:
-				locals[in.Dst] = val(in.Args[0]) ^ val(in.Args[1])
+				locals[in.Dst] = val(&pin.args[0]) ^ val(&pin.args[1])
 			case ir.OpShl:
-				locals[in.Dst] = val(in.Args[0]) << (uint64(val(in.Args[1])) & 63)
+				locals[in.Dst] = val(&pin.args[0]) << (uint64(val(&pin.args[1])) & 63)
 			case ir.OpShr:
-				locals[in.Dst] = val(in.Args[0]) >> (uint64(val(in.Args[1])) & 63)
+				locals[in.Dst] = val(&pin.args[0]) >> (uint64(val(&pin.args[1])) & 63)
 			case ir.OpNeg:
-				locals[in.Dst] = -val(in.Args[0])
+				locals[in.Dst] = -val(&pin.args[0])
 			case ir.OpNot:
-				locals[in.Dst] = ^val(in.Args[0])
+				locals[in.Dst] = ^val(&pin.args[0])
 			case ir.OpFAdd:
-				locals[in.Dst] = fbits(fval(in.Args[0]) + fval(in.Args[1]))
+				locals[in.Dst] = fbits(fval(&pin.args[0]) + fval(&pin.args[1]))
 			case ir.OpFSub:
-				locals[in.Dst] = fbits(fval(in.Args[0]) - fval(in.Args[1]))
+				locals[in.Dst] = fbits(fval(&pin.args[0]) - fval(&pin.args[1]))
 			case ir.OpFMul:
-				locals[in.Dst] = fbits(fval(in.Args[0]) * fval(in.Args[1]))
+				locals[in.Dst] = fbits(fval(&pin.args[0]) * fval(&pin.args[1]))
 			case ir.OpFDiv:
-				locals[in.Dst] = fbits(fval(in.Args[0]) / fval(in.Args[1]))
+				locals[in.Dst] = fbits(fval(&pin.args[0]) / fval(&pin.args[1]))
 			case ir.OpFNeg:
-				locals[in.Dst] = fbits(-fval(in.Args[0]))
+				locals[in.Dst] = fbits(-fval(&pin.args[0]))
 			case ir.OpIntToFloat:
-				locals[in.Dst] = fbits(float64(val(in.Args[0])))
+				locals[in.Dst] = fbits(float64(val(&pin.args[0])))
 			case ir.OpFloatToInt:
-				locals[in.Dst] = int64(fval(in.Args[0]))
+				locals[in.Dst] = int64(fval(&pin.args[0]))
 			case ir.OpCmp:
-				if m.compare(fn, in, val, fval) {
+				if compareCond(pin, val, fval) {
 					locals[in.Dst] = 1
 				} else {
 					locals[in.Dst] = 0
 				}
 			case ir.OpMath:
-				locals[in.Dst] = fbits(mathFn(in.Fn, fval(in.Args[0])))
+				locals[in.Dst] = fbits(mathFn(in.Fn, fval(&pin.args[0])))
 			case ir.OpInstanceOf:
 				// instanceof never faults: null is simply not an instance.
-				ref := val(in.Args[0])
+				ref := val(&pin.args[0])
 				locals[in.Dst] = 0
 				if ref != 0 && m.Heap.ClassIDOf(ref) == int64(in.Class.ID) {
 					locals[in.Dst] = 1
@@ -196,7 +196,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 
 			case ir.OpNullCheck:
 				m.Stats.ExplicitChecks++
-				if val(in.Args[0]) == 0 {
+				if val(&pin.args[0]) == 0 {
 					m.Stats.ThrownSoftware++
 					pending = m.throw(rt.ExcNullPointer)
 					break instrLoop
@@ -205,7 +205,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 			case ir.OpNew:
 				locals[in.Dst] = m.Heap.AllocObject(in.Class)
 			case ir.OpNewArray:
-				n := val(in.Args[0])
+				n := val(&pin.args[0])
 				if n < 0 {
 					pending = m.throw(rt.ExcNegativeArraySize)
 					break instrLoop
@@ -215,7 +215,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 
 			case ir.OpGetField:
 				m.Stats.Loads++
-				v, r, err := m.load(in, val(in.Args[0])+int64(in.Field.Offset))
+				v, r, err := m.load(in, val(&pin.args[0])+int64(in.Field.Offset))
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -226,7 +226,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				locals[in.Dst] = v
 			case ir.OpPutField:
 				m.Stats.Stores++
-				r, err := m.storeWord(in, val(in.Args[0])+int64(in.Field.Offset), val(in.Args[1]))
+				r, err := m.storeWord(in, val(&pin.args[0])+int64(in.Field.Offset), val(&pin.args[1]))
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -236,7 +236,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				}
 			case ir.OpArrayLength:
 				m.Stats.Loads++
-				v, r, err := m.load(in, val(in.Args[0]))
+				v, r, err := m.load(in, val(&pin.args[0]))
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -247,7 +247,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				locals[in.Dst] = v
 			case ir.OpBoundCheck:
 				m.Stats.BoundChecks++
-				idx, n := val(in.Args[0]), val(in.Args[1])
+				idx, n := val(&pin.args[0]), val(&pin.args[1])
 				if idx < 0 || idx >= n {
 					m.Stats.ThrownSoftware++
 					pending = m.throw(rt.ExcArrayIndexOutOfBounds)
@@ -255,7 +255,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				}
 			case ir.OpArrayLoad:
 				m.Stats.Loads++
-				addr := val(in.Args[0]) + ir.ArrayHeaderBytes + val(in.Args[1])*ir.WordBytes
+				addr := val(&pin.args[0]) + ir.ArrayHeaderBytes + val(&pin.args[1])*ir.WordBytes
 				v, r, err := m.load(in, addr)
 				if err != nil {
 					return Outcome{}, err
@@ -267,8 +267,8 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				locals[in.Dst] = v
 			case ir.OpArrayStore:
 				m.Stats.Stores++
-				addr := val(in.Args[0]) + ir.ArrayHeaderBytes + val(in.Args[1])*ir.WordBytes
-				r, err := m.storeWord(in, addr, val(in.Args[2]))
+				addr := val(&pin.args[0]) + ir.ArrayHeaderBytes + val(&pin.args[1])*ir.WordBytes
+				r, err := m.storeWord(in, addr, val(&pin.args[2]))
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -282,7 +282,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				if in.Op == ir.OpCallVirtual {
 					// Dispatch reads the header slot: the trap point.
 					m.Stats.Loads++
-					_, r, err := m.load(in, val(in.Args[0]))
+					_, r, err := m.load(in, val(&pin.args[0]))
 					if err != nil {
 						return Outcome{}, err
 					}
@@ -291,7 +291,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 						break instrLoop
 					}
 				}
-				out, err := m.callTarget(in, locals, depth, val, fval)
+				out, err := m.callTarget(pin, depth, val, fval)
 				if err != nil {
 					return Outcome{}, err
 				}
@@ -307,7 +307,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				blk = in.Targets[0]
 				goto nextBlock
 			case ir.OpIf:
-				if m.compare(fn, in, val, fval) {
+				if compareCond(pin, val, fval) {
 					blk = in.Targets[0]
 				} else {
 					blk = in.Targets[1]
@@ -315,11 +315,11 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				goto nextBlock
 			case ir.OpReturn:
 				if len(in.Args) == 1 {
-					return Outcome{Value: val(in.Args[0])}, nil
+					return Outcome{Value: val(&pin.args[0])}, nil
 				}
 				return Outcome{}, nil
 			case ir.OpThrow:
-				ref := val(in.Args[0])
+				ref := val(&pin.args[0])
 				m.Stats.ThrownSoftware++
 				pending = &raise{kind: m.Heap.ExcKindOf(ref), ref: ref}
 				break instrLoop
@@ -406,40 +406,36 @@ func (m *Machine) storeWord(in *ir.Instr, addr, v int64) (*raise, error) {
 }
 
 // callTarget invokes the callee of a call instruction.
-func (m *Machine) callTarget(in *ir.Instr, locals []int64, depth int,
-	val func(ir.Operand) int64, fval func(ir.Operand) float64) (Outcome, error) {
+func (m *Machine) callTarget(pin *pInstr, depth int,
+	val func(*pOp) int64, fval func(*pOp) float64) (Outcome, error) {
+	in := pin.in
 	cal := in.Callee
 	if cal.Fn == nil {
 		if cal.Intrinsic != ir.MathNone {
 			// Runtime-implemented math (the call form used on models
 			// without the hardware instruction).
 			m.Cycles += m.Arch.MathCycles
-			if len(in.Args) == 0 {
+			if len(pin.args) == 0 {
 				return Outcome{}, fmt.Errorf("machine: intrinsic %s without args", cal.QualifiedName())
 			}
-			return Outcome{Value: fbits(mathFn(cal.Intrinsic, fval(in.Args[len(in.Args)-1])))}, nil
+			return Outcome{Value: fbits(mathFn(cal.Intrinsic, fval(&pin.args[len(pin.args)-1])))}, nil
 		}
 		return Outcome{}, fmt.Errorf("machine: call to bodyless method %s", cal.QualifiedName())
 	}
-	args := make([]int64, len(in.Args))
-	for i, a := range in.Args {
-		args[i] = val(a)
+	args := make([]int64, len(pin.args))
+	for i := range pin.args {
+		args[i] = val(&pin.args[i])
 	}
 	return m.exec(cal.Fn, args, depth+1)
 }
 
-// compare evaluates a Cond over two operands, using float comparison when
-// either side is float-kinded.
-func (m *Machine) compare(fn *ir.Func, in *ir.Instr,
-	val func(ir.Operand) int64, fval func(ir.Operand) float64) bool {
-	isFloat := func(o ir.Operand) bool {
-		if o.Kind == ir.OperConstFloat {
-			return true
-		}
-		return o.IsVar() && fn.Locals[o.Var].Kind == ir.KindFloat
-	}
-	if isFloat(in.Args[0]) || isFloat(in.Args[1]) {
-		a, b := fval(in.Args[0]), fval(in.Args[1])
+// compareCond evaluates a Cond over two operands, using float comparison
+// when either side is float-kinded (pre-decoded into pOp.isFloat).
+func compareCond(pin *pInstr, val func(*pOp) int64, fval func(*pOp) float64) bool {
+	in := pin.in
+	a0, a1 := &pin.args[0], &pin.args[1]
+	if a0.isFloat || a1.isFloat {
+		a, b := fval(a0), fval(a1)
 		switch in.Cond {
 		case ir.CondEQ:
 			return a == b
@@ -455,7 +451,7 @@ func (m *Machine) compare(fn *ir.Func, in *ir.Instr,
 			return a >= b
 		}
 	}
-	a, b := val(in.Args[0]), val(in.Args[1])
+	a, b := val(&pin.args[0]), val(&pin.args[1])
 	switch in.Cond {
 	case ir.CondEQ:
 		return a == b

@@ -1,0 +1,75 @@
+package machine
+
+import (
+	"math"
+
+	"trapnull/internal/ir"
+)
+
+// This file implements the prepared-instruction tables of the exec loop.
+// Operand classification (the switch over Operand.Kind the interpreter used
+// to re-run on every dynamic instruction) is hoisted to a once-per-function
+// decode: each operand becomes a pOp that either names a local slot or
+// carries both integer and float views of its constant, and each block gets
+// a pInstr slice parallel to its Instrs. Tables are cached per *ir.Func and
+// invalidated by pointer identity — every compilation builds fresh Func
+// values, so a stale table cannot be observed as long as a function's IR is
+// not mutated between Calls on the same Machine (nothing in this repository
+// does; compilation always completes before execution starts).
+
+// pOp is a pre-decoded operand: a local slot index, or a constant carried in
+// both of the views the exec loop needs.
+type pOp struct {
+	varIdx  int32 // local slot, or -1 for constants
+	isFloat bool  // float-kinded (float constant or float-kinded local)
+	i64     int64 // constant as the integer word val() yields
+	f64     float64
+}
+
+// pInstr pairs an instruction with its pre-decoded operands.
+type pInstr struct {
+	in   *ir.Instr
+	args []pOp
+}
+
+// pFunc holds one function's prepared blocks, dense by Block.ID.
+type pFunc struct {
+	blocks [][]pInstr
+}
+
+func decodeOperand(fn *ir.Func, o ir.Operand) pOp {
+	switch o.Kind {
+	case ir.OperVar:
+		return pOp{varIdx: int32(o.Var), isFloat: fn.Locals[o.Var].Kind == ir.KindFloat}
+	case ir.OperConstInt:
+		return pOp{varIdx: -1, i64: o.Int, f64: float64(o.Int)}
+	case ir.OperConstFloat:
+		return pOp{varIdx: -1, isFloat: true, i64: int64(math.Float64bits(o.Float)), f64: o.Float}
+	default: // null (and the invalid zero operand): the zero word
+		return pOp{varIdx: -1}
+	}
+}
+
+// prepare returns fn's prepared table, building and caching it on first use.
+func (m *Machine) prepare(fn *ir.Func) *pFunc {
+	if pf, ok := m.prepared[fn]; ok {
+		return pf
+	}
+	pf := &pFunc{blocks: make([][]pInstr, fn.MaxBlockID()+1)}
+	for _, b := range fn.Blocks {
+		pins := make([]pInstr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			args := make([]pOp, len(in.Args))
+			for j, o := range in.Args {
+				args[j] = decodeOperand(fn, o)
+			}
+			pins[i] = pInstr{in: in, args: args}
+		}
+		pf.blocks[b.ID] = pins
+	}
+	if m.prepared == nil {
+		m.prepared = make(map[*ir.Func]*pFunc)
+	}
+	m.prepared[fn] = pf
+	return pf
+}

@@ -21,7 +21,7 @@ import (
 func CheckGuards(f *ir.Func, m *arch.Model) error {
 	res := nonNullAnalysis(f, nil)
 	for _, b := range cfg.ReversePostorderWithHandlers(f) {
-		cur := res.In[b].Copy()
+		cur := res.In(b).Copy()
 		for _, in := range b.Instrs {
 			if sa, ok := in.SlotAccessInfo(); ok {
 				switch {

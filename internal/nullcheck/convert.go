@@ -35,7 +35,7 @@ func ConvertToTraps(f *ir.Func, m *arch.Model) int {
 	removed := 0
 	for _, b := range f.Blocks {
 		inTry := b.Try != ir.NoTry
-		cur := res.Out[b].Copy()
+		cur := res.Out(b).Copy()
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := b.Instrs[i]
 			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {

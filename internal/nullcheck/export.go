@@ -12,5 +12,9 @@ import (
 // the check, which is what makes the load hoistable at all.
 func NonNullOut(f *ir.Func) map[*ir.Block]*bitset.Set {
 	res := nonNullAnalysis(f, nil)
-	return res.Out
+	out := make(map[*ir.Block]*bitset.Set, len(f.Blocks))
+	for _, b := range f.Blocks {
+		out[b] = res.Out(b)
+	}
+	return out
 }

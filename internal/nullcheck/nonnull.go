@@ -19,6 +19,9 @@ func nonNullAnalysis(f *ir.Func, extraEdge map[*ir.Block]*bitset.Set) *dataflow.
 		scanNonNull(b, gen, kill)
 		return gen, kill
 	})
+	// The solver never retains the returned set, so one scratch serves
+	// every edge evaluation without allocating.
+	edgeScratch := bitset.New(size)
 	p := &dataflow.Problem{
 		Dir:  dataflow.Forward,
 		Meet: dataflow.Intersect,
@@ -26,7 +29,8 @@ func nonNullAnalysis(f *ir.Func, extraEdge map[*ir.Block]*bitset.Set) *dataflow.
 		Gen:  genN,
 		Kill: killN,
 		EdgeAdd: func(from, to *ir.Block) *bitset.Set {
-			add := bitset.New(size)
+			add := edgeScratch
+			add.Clear()
 			if v := condEdgeNonNull(from, to); v != ir.NoVar {
 				add.Add(int(v))
 			}
@@ -94,7 +98,7 @@ func stepNonNull(cur *bitset.Set, in *ir.Instr) {
 func eliminateKnownNonNull(f *ir.Func, res *dataflow.Result) int {
 	removed := 0
 	for _, b := range f.Blocks {
-		cur := res.In[b].Copy()
+		cur := res.In(b).Copy()
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {

@@ -42,11 +42,10 @@ func Phase1(f *ir.Func) Stats {
 	// predecessor anticipates at its own exit ----------------------------
 	earliest := make(map[*ir.Block]*bitset.Set, len(f.Blocks))
 	for _, b := range f.Blocks {
-		e := bwd.Out[b].Copy()
+		e := bwd.Out(b).Copy()
 		for _, p := range b.Preds {
-			notOut := bwd.Out[p].Copy()
-			notOut.Complement()
-			e.Intersect(notOut)
+			// e ∩ ¬Out(p) is plain set difference.
+			e.Subtract(bwd.Out(p))
 		}
 		// Only variables that actually have checks somewhere benefit from
 		// insertion; Out_bwd already guarantees that, but restrict to ref
@@ -66,7 +65,7 @@ func Phase1(f *ir.Func) Stats {
 	// the variable is already non-null at the block exit.
 	for _, b := range f.Blocks {
 		e := earliest[b]
-		e.Subtract(fwd.Out[b])
+		e.Subtract(fwd.Out(b))
 		e.ForEach(func(v int) {
 			b.InsertBeforeTerminator(&ir.Instr{
 				Op:       ir.OpNullCheck,

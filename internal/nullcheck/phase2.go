@@ -96,8 +96,8 @@ func scanForwardMotion(b *ir.Block, size int) (gen, kill *bitset.Set) {
 // dereference is guaranteed to trap, as explicit check instructions
 // otherwise.
 func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats) {
-	size := res.In[b].Len()
-	inner := res.In[b].Copy()
+	size := res.In(b).Len()
+	inner := res.In(b).Copy()
 	inTry := b.Try != ir.NoTry
 
 	out := make([]*ir.Instr, 0, len(b.Instrs))
@@ -149,7 +149,7 @@ func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats) {
 			pending.ForEach(func(v int) {
 				continues := len(b.Succs) > 0
 				for _, s := range b.Succs {
-					if !res.In[s].Has(v) {
+					if !res.In(s).Has(v) {
 						continues = false
 						break
 					}

@@ -94,7 +94,7 @@ func BoundCheckElim(f *ir.Func) int {
 
 	removed := 0
 	for _, b := range f.Blocks {
-		cur := res.In[b].Copy()
+		cur := res.In(b).Copy()
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if k, ok := boundKey(in); ok {

@@ -21,7 +21,7 @@ func DCE(f *ir.Func) int {
 			// A handler may observe any local at any faulting point.
 			continue
 		}
-		cur := live.Out[b].Copy()
+		cur := live.Out(b).Copy()
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := b.Instrs[i]
 			if removableWhenDead(in) && !cur.Has(int(in.Dst)) {
