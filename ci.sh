@@ -8,5 +8,16 @@ set -eux
 cd "$(dirname "$0")"
 
 go vet ./...
+# The robustness layer gates every other package's failures, so it may not
+# even carry a warning: vet it explicitly (and fail loudly if it vanishes).
+go vet ./internal/irverify ./internal/triage
 go build ./...
 go test -race ./...
+# Same suite with the structural IR verifier enabled after every pass —
+# catches pass-boundary corruption the differential tests would only see as
+# a downstream mystery.
+TRAPNULL_VERIFY=1 go test ./...
+# Pin the -short deep-fuzz path (reduced smoke sweep, not a skip) and the
+# native fuzz seed corpus; the full 3000-seed sweep already ran above.
+go test -short -run TestDeepFuzz ./internal/randprog
+go test -run FuzzDifferential ./internal/randprog

@@ -78,11 +78,10 @@ func main() {
 		*all = true
 	}
 
-	rep, err := bench.RunAll(bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-		os.Exit(1)
-	}
+	// A failing cell does not abort the sweep: RunAll always returns the
+	// full (possibly partial) report. Render it — failed cells appear as
+	// ERROR(<reason>) entries — then report the failures and exit non-zero.
+	rep, sweepErr := bench.RunAll(bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel})
 
 	if *asJSON {
 		data, err := rep.JSON()
@@ -91,6 +90,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(data))
+		failOn(sweepErr)
 		return
 	}
 
@@ -114,4 +114,15 @@ func main() {
 	case *figure != 0:
 		emit(fmt.Sprintf("figure%d", *figure))
 	}
+	failOn(sweepErr)
+}
+
+// failOn reports a sweep failure after the (partial) results have been
+// rendered, identifying every failing cell, and exits non-zero.
+func failOn(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+	os.Exit(1)
 }

@@ -6,8 +6,10 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,7 +36,18 @@ type Cell struct {
 	// statistics.
 	Exec   machine.ExecStats
 	Static jit.Result
+	// Err is the deterministic failure reason when this cell could not be
+	// measured (compile error, pass panic, checksum mismatch, ...); the
+	// measurement fields above are zero. A failed cell never aborts the
+	// sweep — tables render it as ERROR(<reason>).
+	Err string
 }
+
+// Failed reports whether the cell is an error entry.
+func (c *Cell) Failed() bool { return c.Err != "" }
+
+// ErrText renders the deterministic table text for a failed cell.
+func (c *Cell) ErrText() string { return "ERROR(" + c.Err + ")" }
 
 // CompileTotal returns the whole compile time for the cell.
 func (c *Cell) CompileTotal() time.Duration { return c.CompileNull + c.CompileOther }
@@ -90,6 +103,14 @@ func (o Options) workers(total int) int {
 // bounded worker pool. Results land in slots pre-sized by (config, workload)
 // index, so the assembled matrix — and everything rendered from it — is
 // identical to the serial sweep regardless of completion order.
+//
+// A failing cell — compile error, contained pass panic, run failure,
+// checksum mismatch, even a panicking workload builder — never aborts the
+// sweep: it becomes an error entry (Cell.Err) and every other cell is still
+// measured. When any cell failed, the returned error lists all failures in
+// declaration order (deterministic regardless of worker count) alongside the
+// complete matrix, so callers can render the partial results and still exit
+// non-zero.
 func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts Options) (*Matrix, error) {
 	if opts.CompileReps < 1 {
 		opts.CompileReps = 1
@@ -105,10 +126,8 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 	type job struct{ ci, wi int }
 	total := len(configs) * len(ws)
 	cells := make([][]*Cell, len(configs))
-	errs := make([][]error, len(configs))
 	for ci := range configs {
 		cells[ci] = make([]*Cell, len(ws))
-		errs[ci] = make([]error, len(ws))
 	}
 
 	jobs := make(chan job, total)
@@ -118,7 +137,7 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				cells[j.ci][j.wi], errs[j.ci][j.wi] = runOne(model, configs[j.ci], ws[j.wi], opts)
+				cells[j.ci][j.wi] = runOne(model, configs[j.ci], ws[j.wi], opts)
 			}
 		}()
 	}
@@ -130,22 +149,51 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 	close(jobs)
 	wg.Wait()
 
-	// Assemble in declaration order; report the first failure by (config,
-	// workload) position so errors are deterministic too.
+	// Assemble in declaration order, collecting failures in the same order
+	// so the aggregate error is deterministic too.
+	var failures []string
 	for ci, cfg := range configs {
 		row := make(map[string]*Cell, len(ws))
 		m.Cells[cfg.Name] = row
 		for wi, w := range ws {
-			if err := errs[ci][wi]; err != nil {
-				return nil, fmt.Errorf("bench: %s/%s: %w", cfg.Name, w.Name, err)
+			c := cells[ci][wi]
+			row[w.Name] = c
+			if c.Failed() {
+				failures = append(failures, fmt.Sprintf("%s/%s: %s", cfg.Name, w.Name, c.Err))
 			}
-			row[w.Name] = cells[ci][wi]
 		}
+	}
+	if len(failures) > 0 {
+		return m, fmt.Errorf("bench: %d cell(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	return m, nil
 }
 
-func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options) (*Cell, error) {
+// failReason maps a cell failure to its deterministic table text: structured
+// pass errors render through PassError.Reason (stable across runs and worker
+// counts — no addresses, stacks or timings), everything else through its
+// error string.
+func failReason(err error) string {
+	var pe *jit.PassError
+	if errors.As(err, &pe) {
+		return pe.Reason()
+	}
+	return err.Error()
+}
+
+// runOne measures one (config, workload) cell. It never fails the sweep: any
+// error — including a panic out of the workload builder, the compiler, or
+// the simulated machine — degrades to an error cell.
+func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options) (cell *Cell) {
+	errCell := func(reason string) *Cell {
+		return &Cell{Workload: w.Name, Config: cfg.Name, Err: reason}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cell = errCell(fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
 	n := w.N
 	if opts.Quick {
 		n = w.TestN
@@ -159,7 +207,7 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		p, entryM := w.Build()
 		res, err := jit.CompileProgram(p, cfg, model)
 		if err != nil {
-			return nil, err
+			return errCell(failReason(err))
 		}
 		if best == nil || res.Times.Total() < best.Times.Total() {
 			best = res
@@ -168,19 +216,19 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 			mach := machine.New(model, p)
 			out, err := mach.Call(entryM.Fn, n)
 			if err != nil {
-				return nil, err
+				return errCell(failReason(err))
 			}
 			if out.Exc != rt.ExcNone {
-				return nil, fmt.Errorf("unexpected exception %v", out.Exc)
+				return errCell(fmt.Sprintf("unexpected exception %v", out.Exc))
 			}
 			if want := w.Ref(n); out.Value != want {
-				return nil, fmt.Errorf("checksum mismatch: got %d, want %d", out.Value, want)
+				return errCell(fmt.Sprintf("checksum mismatch: got %d, want %d", out.Value, want))
 			}
 			finalProg = mach
 		}
 	}
 
-	cell := &Cell{
+	return &Cell{
 		Workload:     w.Name,
 		Config:       cfg.Name,
 		Cycles:       finalProg.Cycles,
@@ -190,7 +238,6 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		Exec:         finalProg.Stats,
 		Static:       *best,
 	}
-	return cell, nil
 }
 
 // Index is the jBYTEmark-style score: iterations of the reference machine
@@ -213,23 +260,22 @@ type Report struct {
 	AIXSpec *Matrix // Table 7, Figure 15
 }
 
-// RunAll produces the full report.
+// RunAll produces the full report. All four sweeps run to completion even
+// when cells fail; the returned error (if any) joins each sweep's failure
+// list, and the report is always non-nil so partial results can be rendered.
 func RunAll(opts Options) (*Report, error) {
-	winJB, err := Run(arch.IA32Win(), jit.WindowsConfigs(), workloads.JBYTEmark(), opts)
-	if err != nil {
-		return nil, err
+	var errs []error
+	sweep := func(m *Matrix, err error) *Matrix {
+		if err != nil {
+			errs = append(errs, err)
+		}
+		return m
 	}
-	winSpec, err := Run(arch.IA32Win(), jit.WindowsConfigs(), workloads.SPECjvm98(), opts)
-	if err != nil {
-		return nil, err
+	rep := &Report{
+		WinJB:   sweep(Run(arch.IA32Win(), jit.WindowsConfigs(), workloads.JBYTEmark(), opts)),
+		WinSpec: sweep(Run(arch.IA32Win(), jit.WindowsConfigs(), workloads.SPECjvm98(), opts)),
+		AIXJB:   sweep(Run(arch.PPCAIX(), jit.AIXConfigs(), workloads.JBYTEmark(), opts)),
+		AIXSpec: sweep(Run(arch.PPCAIX(), jit.AIXConfigs(), workloads.SPECjvm98(), opts)),
 	}
-	aixJB, err := Run(arch.PPCAIX(), jit.AIXConfigs(), workloads.JBYTEmark(), opts)
-	if err != nil {
-		return nil, err
-	}
-	aixSpec, err := Run(arch.PPCAIX(), jit.AIXConfigs(), workloads.SPECjvm98(), opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Report{WinJB: winJB, WinSpec: winSpec, AIXJB: aixJB, AIXSpec: aixSpec}, nil
+	return rep, errors.Join(errs...)
 }

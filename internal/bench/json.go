@@ -22,6 +22,9 @@ type jsonCell struct {
 	StaticImplicit int     `json:"static_implicit"`
 	StaticExplicit int     `json:"static_explicit_left"`
 	Eliminated     int     `json:"static_eliminated"`
+	// Error carries the deterministic failure reason of an error cell; the
+	// measurement fields are zero when it is set.
+	Error string `json:"error,omitempty"`
 }
 
 // jsonReport is the export shape of a full run.
@@ -43,6 +46,14 @@ func (r *Report) JSON() ([]byte, error) {
 			for _, w := range m.Workloads {
 				c := m.Cell(cfg.Name, w.Name)
 				if c == nil {
+					continue
+				}
+				if c.Failed() {
+					cells = append(cells, jsonCell{
+						Workload: c.Workload,
+						Config:   c.Config,
+						Error:    c.Err,
+					})
 					continue
 				}
 				cells = append(cells, jsonCell{

@@ -27,6 +27,24 @@ func renderGrid(title string, header []string, rows [][]string, footer ...string
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
+// cellText renders one table cell: the metric for a measured cell, the
+// deterministic ERROR(<reason>) text for a failed one, and MISSING for a
+// cell the sweep never produced.
+func cellText(c *Cell, metric func(*Cell) string) string {
+	switch {
+	case c == nil:
+		return "MISSING"
+	case c.Failed():
+		return c.ErrText()
+	default:
+		return metric(c)
+	}
+}
+
+// usable reports whether a cell carries a real measurement (non-nil and not
+// an error entry); aggregating tables skip the others.
+func usable(c *Cell) bool { return c != nil && !c.Failed() }
+
 // workloadNames lists the matrix's workload column order.
 func (m *Matrix) workloadNames() []string {
 	names := make([]string, len(m.Workloads))
@@ -44,7 +62,7 @@ func (r *Report) Table1() string {
 	for _, cfg := range m.Configs {
 		row := []string{cfg.Name}
 		for _, w := range m.workloadNames() {
-			row = append(row, f2(m.Cell(cfg.Name, w).Index()))
+			row = append(row, cellText(m.Cell(cfg.Name, w), func(c *Cell) string { return f2(c.Index()) }))
 		}
 		rows = append(rows, row)
 	}
@@ -61,7 +79,7 @@ func (r *Report) Table2() string {
 	for _, cfg := range m.Configs {
 		row := []string{cfg.Name}
 		for _, w := range m.workloadNames() {
-			row = append(row, f2(m.Cell(cfg.Name, w).SimMillis()))
+			row = append(row, cellText(m.Cell(cfg.Name, w), func(c *Cell) string { return f2(c.SimMillis()) }))
 		}
 		rows = append(rows, row)
 	}
@@ -75,7 +93,7 @@ func (r *Report) Table2() string {
 func improvement(m *Matrix, base, cfg, w string) float64 {
 	b := m.Cell(base, w)
 	c := m.Cell(cfg, w)
-	if c == nil || b == nil || c.Cycles == 0 {
+	if !usable(c) || !usable(b) || c.Cycles == 0 {
 		return 0
 	}
 	return (float64(b.Cycles)/float64(c.Cycles) - 1) * 100
@@ -156,6 +174,13 @@ func (r *Report) Table3() string {
 		comp := []string{"", "compile (ms, %first)"}
 		for _, w := range m.workloadNames() {
 			c := m.Cell(cfg, w)
+			if !usable(c) {
+				t := cellText(c, nil)
+				first = append(first, t)
+				bestR = append(bestR, t)
+				comp = append(comp, t)
+				continue
+			}
 			exec := c.SimMillis()
 			cms := float64(c.CompileTotal().Microseconds()) / 1000
 			first = append(first, f2(exec+cms))
@@ -175,6 +200,10 @@ func (r *Report) Figure12() string {
 	row := []string{"compilation"}
 	for _, w := range m.workloadNames() {
 		c := m.Cell("NewNullCheck(Phase1+2)", w)
+		if !usable(c) {
+			row = append(row, cellText(c, nil))
+			continue
+		}
 		exec := c.SimMillis()
 		cms := float64(c.CompileTotal().Microseconds()) / 1000
 		row = append(row, f1(cms/(exec+cms)*100))
@@ -230,6 +259,9 @@ func (r *Report) Table4() string {
 		} {
 			var null, other float64
 			for _, c := range g.Cells(v.cfg) {
+				if !usable(c) {
+					continue
+				}
 				null += float64(c.CompileNull.Microseconds()) / 1000
 				other += float64(c.CompileOther.Microseconds()) / 1000
 			}
@@ -251,6 +283,9 @@ func (r *Report) Figure13() string {
 	for _, g := range r.table4Groups() {
 		sum := func(cfg string) (null, total float64) {
 			for _, c := range g.Cells(cfg) {
+				if !usable(c) {
+					continue
+				}
 				null += float64(c.CompileNull.Microseconds()) / 1000
 				total += float64(c.CompileTotal().Microseconds()) / 1000
 			}
@@ -279,10 +314,14 @@ func (r *Report) Table5() string {
 	for _, g := range r.table4Groups() {
 		var tNew, tOld float64
 		for _, c := range g.Cells("NewNullCheck(Phase1+2)") {
-			tNew += float64(c.CompileTotal().Microseconds()) / 1000
+			if usable(c) {
+				tNew += float64(c.CompileTotal().Microseconds()) / 1000
+			}
 		}
 		for _, c := range g.Cells("OldNullCheck") {
-			tOld += float64(c.CompileTotal().Microseconds()) / 1000
+			if usable(c) {
+				tOld += float64(c.CompileTotal().Microseconds()) / 1000
+			}
 		}
 		totNew += tNew
 		totOld += tOld
@@ -308,7 +347,7 @@ func (r *Report) Table6() string {
 	for _, cfg := range m.Configs {
 		row := []string{cfg.Name}
 		for _, w := range m.workloadNames() {
-			row = append(row, f2(m.Cell(cfg.Name, w).Index()))
+			row = append(row, cellText(m.Cell(cfg.Name, w), func(c *Cell) string { return f2(c.Index()) }))
 		}
 		rows = append(rows, row)
 	}
@@ -325,7 +364,7 @@ func (r *Report) Table7() string {
 	for _, cfg := range m.Configs {
 		row := []string{cfg.Name}
 		for _, w := range m.workloadNames() {
-			row = append(row, f2(m.Cell(cfg.Name, w).SimMillis()))
+			row = append(row, cellText(m.Cell(cfg.Name, w), func(c *Cell) string { return f2(c.SimMillis()) }))
 		}
 		rows = append(rows, row)
 	}

@@ -1,0 +1,222 @@
+// Package irverify is the structural IR verifier the hardened pipeline runs
+// between passes. ir.Validate covers the basic shape every consumer needs
+// (terminators, arities, operand ranges); this package layers the invariants
+// that only matter because passes mutate the CFG in place — Preds/Succs
+// consistency with the terminators, no dangling or duplicated block
+// pointers, exception-site marks that actually match the dereference they
+// annotate, and try-region well-formedness. A violation here means a pass
+// left the function in a state the next pass or the machine would
+// misinterpret silently; catching it at the pass boundary turns a wrong
+// benchmark number into a named, located compiler bug.
+package irverify
+
+import (
+	"fmt"
+
+	"trapnull/internal/ir"
+)
+
+// Error locates one structural violation. Func names the function; Block and
+// Instr (when non-empty) pin the offending block and instruction. The jit
+// pipeline wraps it with the pass that produced the state.
+type Error struct {
+	Func  string
+	Block string
+	Instr string
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	s := "irverify: " + e.Func
+	if e.Block != "" {
+		s += " " + e.Block
+	}
+	if e.Instr != "" {
+		s += ": `" + e.Instr + "`"
+	}
+	return s + ": " + e.Msg
+}
+
+func errf(f *ir.Func, b *ir.Block, in *ir.Instr, format string, args ...interface{}) *Error {
+	e := &Error{Func: f.Name, Msg: fmt.Sprintf(format, args...)}
+	if b != nil {
+		e.Block = b.String()
+	}
+	if in != nil {
+		e.Instr = in.String()
+	}
+	return e
+}
+
+// Func verifies all structural invariants of one function. It runs
+// ir.Validate first, so a nil result implies basic validity too.
+func Func(f *ir.Func) error {
+	if err := ir.Validate(f); err != nil {
+		return &Error{Func: f.Name, Msg: err.Error()}
+	}
+
+	inFunc := make(map[*ir.Block]bool, len(f.Blocks))
+	ids := make(map[int]*ir.Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if inFunc[b] {
+			return errf(f, b, nil, "block appears twice in Blocks")
+		}
+		inFunc[b] = true
+		if b.ID < 0 {
+			return errf(f, b, nil, "negative block ID")
+		}
+		if prev, dup := ids[b.ID]; dup {
+			return errf(f, b, nil, "duplicate block ID (also %s)", prev)
+		}
+		ids[b.ID] = b
+	}
+
+	for _, b := range f.Blocks {
+		if err := checkEdges(f, b, inFunc); err != nil {
+			return err
+		}
+		for _, in := range b.Instrs {
+			if err := checkInstr(f, b, in); err != nil {
+				return err
+			}
+		}
+	}
+	return checkRegions(f, inFunc)
+}
+
+// checkEdges verifies the RecomputeEdges contract: Succs is exactly the
+// terminator's target sequence, and every (pred, succ) pairing is mutual —
+// the stale-edge bug class that makes dataflow solve over a phantom CFG.
+func checkEdges(f *ir.Func, b *ir.Block, inFunc map[*ir.Block]bool) error {
+	t := b.Terminator()
+	var targets []*ir.Block
+	if t != nil {
+		targets = t.Targets
+	}
+	if len(b.Succs) != len(targets) {
+		return errf(f, b, t, "stale Succs: %d edges, terminator has %d targets", len(b.Succs), len(targets))
+	}
+	for i, s := range b.Succs {
+		if s != targets[i] {
+			return errf(f, b, t, "stale Succs[%d]: %s, terminator targets %s", i, s, targets[i])
+		}
+		if !inFunc[s] {
+			return errf(f, b, t, "dangling successor %s (not in function)", s)
+		}
+		if !hasEdge(s.Preds, b) {
+			return errf(f, b, t, "asymmetric edge: %s missing from Preds of %s", b, s)
+		}
+	}
+	for _, p := range b.Preds {
+		if !inFunc[p] {
+			return errf(f, b, nil, "dangling predecessor %s (not in function)", p)
+		}
+		if !hasEdge(p.Succs, b) {
+			return errf(f, b, nil, "asymmetric edge: %s lists pred %s, which does not list it as succ", b, p)
+		}
+	}
+	// Multiset equality of Preds against the true predecessor count.
+	for _, s := range b.Succs {
+		if count(s.Preds, b) != count(b.Succs, s) {
+			return errf(f, b, nil, "edge multiplicity mismatch between %s and %s", b, s)
+		}
+	}
+	return nil
+}
+
+func hasEdge(list []*ir.Block, b *ir.Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func count(list []*ir.Block, b *ir.Block) int {
+	n := 0
+	for _, x := range list {
+		if x == b {
+			n++
+		}
+	}
+	return n
+}
+
+// checkInstr verifies per-instruction invariants beyond ir.Validate: operand
+// kinds are members of the enum, exception-site marks annotate a real
+// dereference of the variable they claim to cover, speculation marks only
+// appear on reads, and null checks target reference-kinded locals.
+func checkInstr(f *ir.Func, b *ir.Block, in *ir.Instr) error {
+	for _, a := range in.Args {
+		if a.Kind > ir.OperConstNull {
+			return errf(f, b, in, "operand kind %d out of range", a.Kind)
+		}
+		if a.IsVar() && (a.Var < 0 || int(a.Var) >= f.NumLocals()) {
+			return errf(f, b, in, "operand v%d out of range", a.Var)
+		}
+	}
+	if in.HasDst() && int(in.Dst) >= f.NumLocals() {
+		return errf(f, b, in, "destination v%d out of range", in.Dst)
+	}
+	if in.Op == ir.OpNullCheck {
+		v := in.NullCheckVar()
+		if f.Locals[v].Kind != ir.KindRef {
+			return errf(f, b, in, "nullcheck targets non-reference local v%d (%s)", v, f.Locals[v].Kind)
+		}
+	}
+	if in.ExcSite {
+		sa, ok := in.SlotAccessInfo()
+		if !ok {
+			return errf(f, b, in, "exception-site mark on a non-dereferencing instruction")
+		}
+		if in.ExcVar < 0 || int(in.ExcVar) >= f.NumLocals() {
+			return errf(f, b, in, "exception-site variable v%d out of range", in.ExcVar)
+		}
+		if in.ExcVar != sa.Base {
+			return errf(f, b, in, "exception-site covers v%d but dereferences v%d", in.ExcVar, sa.Base)
+		}
+	}
+	if in.Speculated {
+		sa, ok := in.SlotAccessInfo()
+		if !ok || sa.IsWrite {
+			return errf(f, b, in, "speculation mark on a non-read instruction")
+		}
+	}
+	return nil
+}
+
+// checkRegions verifies try-region well-formedness: region IDs match their
+// index (blocks reference regions by index), handlers live in the function
+// and do not handle their own region (exception dispatch would loop), and
+// handler ExcVars are in range.
+func checkRegions(f *ir.Func, inFunc map[*ir.Block]bool) error {
+	for i, r := range f.Regions {
+		if r.ID != i {
+			return errf(f, nil, nil, "region at index %d has ID %d", i, r.ID)
+		}
+		if !inFunc[r.Handler] {
+			return errf(f, nil, nil, "region %d: dangling handler %s", i, r.Handler)
+		}
+		if r.Handler.Try == r.ID {
+			return errf(f, r.Handler, nil, "region %d: handler lies inside its own region", i)
+		}
+		if r.ExcVar != ir.NoVar && (r.ExcVar < 0 || int(r.ExcVar) >= f.NumLocals()) {
+			return errf(f, nil, nil, "region %d: exception variable v%d out of range", i, r.ExcVar)
+		}
+	}
+	return nil
+}
+
+// Program verifies every method body of a program.
+func Program(p *ir.Program) error {
+	for _, m := range p.Methods {
+		if m.Fn == nil {
+			continue
+		}
+		if err := Func(m.Fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

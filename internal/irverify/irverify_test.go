@@ -1,0 +1,163 @@
+package irverify
+
+import (
+	"strings"
+	"testing"
+
+	"trapnull/internal/ir"
+)
+
+// sample builds prog with one class, a guarded field read and a try region:
+// enough surface to exercise every verifier family.
+func sample(t *testing.T) (*ir.Program, *ir.Func) {
+	t.Helper()
+	p := ir.NewProgram("verif")
+	cls := p.NewClass("C", &ir.Field{Name: "f", Kind: ir.KindInt})
+
+	b := ir.NewFunc("main", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	r := b.Local("r", ir.KindRef)
+	b.New(r, cls)
+
+	exc := b.Local("exc", ir.KindRef)
+	handler := b.DeclareBlock("handler")
+	region := b.F.NewRegion(handler, exc)
+	tryB := b.DeclareBlock("try")
+	tryB.Try = region.ID
+	join := b.DeclareBlock("join")
+
+	b.Jump(tryB)
+	b.SetBlock(tryB)
+	v := b.Temp(ir.KindInt)
+	b.NullCheck(r, ir.ReasonField)
+	b.GetField(v, r, cls.Fields[0])
+	b.Jump(join)
+
+	b.SetBlock(handler)
+	b.Move(v, ir.ConstInt(-1))
+	b.Jump(join)
+
+	b.SetBlock(join)
+	out := b.Temp(ir.KindInt)
+	b.Binop(ir.OpAdd, out, ir.Var(v), ir.Var(n))
+	b.Return(ir.Var(out))
+	fn := b.Finish()
+	p.AddMethod(nil, "main", fn, false)
+	return p, fn
+}
+
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("verifier accepted corrupted IR, want error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestValidFunctionPasses(t *testing.T) {
+	p, fn := sample(t)
+	if err := Func(fn); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+	if err := Program(p); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestStaleSuccsDetected(t *testing.T) {
+	_, fn := sample(t)
+	// Redirect the entry terminator without refreshing edges.
+	fn.Entry.Terminator().Targets[0] = fn.Blocks[3]
+	wantErr(t, Func(fn), "stale Succs")
+}
+
+func TestDroppedPredDetected(t *testing.T) {
+	_, fn := sample(t)
+	var join *ir.Block
+	for _, b := range fn.Blocks {
+		if b.Name == "join" {
+			join = b
+		}
+	}
+	join.Preds = join.Preds[:1]
+	wantErr(t, Func(fn), "asymmetric edge")
+}
+
+func TestDuplicateBlockDetected(t *testing.T) {
+	_, fn := sample(t)
+	fn.Blocks = append(fn.Blocks, fn.Blocks[0])
+	wantErr(t, Func(fn), "twice")
+}
+
+func TestDuplicateIDDetected(t *testing.T) {
+	_, fn := sample(t)
+	fn.Blocks[1].ID = fn.Blocks[0].ID
+	wantErr(t, Func(fn), "duplicate block ID")
+}
+
+func TestExcSiteOnNonDereference(t *testing.T) {
+	_, fn := sample(t)
+	fn.Entry.Instrs[0].ExcSite = true // `new` is not a dereference
+	wantErr(t, Func(fn), "exception-site")
+}
+
+func TestExcSiteVarMismatch(t *testing.T) {
+	_, fn := sample(t)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpGetField {
+				in.ExcSite = true
+				in.ExcVar = 0 // getfield dereferences r, not v0
+			}
+		}
+	}
+	wantErr(t, Func(fn), "dereferences")
+}
+
+func TestSpeculatedWriteDetected(t *testing.T) {
+	_, fn := sample(t)
+	fn.Entry.Instrs[0].Speculated = true // `new` cannot be a speculated read
+	wantErr(t, Func(fn), "speculation mark")
+}
+
+func TestNullCheckOnIntLocal(t *testing.T) {
+	_, fn := sample(t)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpNullCheck {
+				in.Args[0] = ir.Var(0) // v0 is the int parameter
+			}
+		}
+	}
+	wantErr(t, Func(fn), "non-reference")
+}
+
+func TestSelfHandlingRegionDetected(t *testing.T) {
+	_, fn := sample(t)
+	fn.Regions[0].Handler.Try = fn.Regions[0].ID
+	wantErr(t, Func(fn), "its own region")
+}
+
+func TestRegionIDMismatchDetected(t *testing.T) {
+	_, fn := sample(t)
+	fn.Regions[0].ID = 7
+	// Re-point the try block so ir.Validate's range check does not fire first.
+	for _, b := range fn.Blocks {
+		if b.Try == 0 {
+			b.Try = ir.NoTry
+		}
+	}
+	wantErr(t, Func(fn), "has ID")
+}
+
+func TestBasicValidationStillRuns(t *testing.T) {
+	_, fn := sample(t)
+	fn.Entry.Instrs = fn.Entry.Instrs[:len(fn.Entry.Instrs)-1] // drop terminator
+	if err := Func(fn); err == nil {
+		t.Fatal("function without terminator accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PassError is the structured failure of one pipeline pass: either the pass
+// panicked (Panic/Stack are set) or it left the function in a state the IR
+// verifier rejects (Err is set). The IR dump is the function as the pass
+// left it, so a failing sweep cell carries everything needed to reproduce
+// the bug without re-running anything.
+type PassError struct {
+	// Pass names the pipeline step ("phase1#2", "phase2", "cleanup", ...).
+	Pass string
+	// Func is the function being compiled when the pass failed.
+	Func string
+	// IRDump is the function body at the moment of failure.
+	IRDump string
+	// Panic is the recovered panic value; nil when the failure was a
+	// verifier rejection instead.
+	Panic any
+	// Stack is the goroutine stack captured at the panic site.
+	Stack []byte
+	// Err is the verifier (or other structured) failure when the pass
+	// completed but produced invalid IR.
+	Err error
+}
+
+func (e *PassError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("jit: pass %s on %s: panic: %v", e.Pass, e.Func, e.Panic)
+	}
+	return fmt.Sprintf("jit: pass %s on %s: %v", e.Pass, e.Func, e.Err)
+}
+
+func (e *PassError) Unwrap() error { return e.Err }
+
+// Reason is a short, deterministic label for table cells and sweep
+// summaries: no addresses, no stack, no IR dump — the same failing cell must
+// render identically regardless of worker count or run.
+func (e *PassError) Reason() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("panic in %s: %v", e.Pass, e.Panic)
+	}
+	return fmt.Sprintf("invalid IR after %s", e.Pass)
+}
+
+// Detail renders the full diagnostic: the error, the IR at failure, and the
+// panic stack when there is one. cmd/triage and failing tests print it.
+func (e *PassError) Detail() string {
+	var sb strings.Builder
+	sb.WriteString(e.Error())
+	if e.IRDump != "" {
+		sb.WriteString("\n--- IR at failure ---\n")
+		sb.WriteString(e.IRDump)
+	}
+	if len(e.Stack) > 0 {
+		sb.WriteString("\n--- stack ---\n")
+		sb.Write(e.Stack)
+	}
+	return sb.String()
+}

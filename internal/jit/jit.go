@@ -74,6 +74,19 @@ type Config struct {
 	// SkipGuardCheck disables the post-compile safety verification; only
 	// the deliberately illegal configuration sets it.
 	SkipGuardCheck bool
+
+	// Verify runs the structural IR verifier (internal/irverify) after every
+	// pass, reporting the pass, function and offending instruction on the
+	// first violation. The TRAPNULL_VERIFY environment variable force-enables
+	// it process-wide (ci.sh's hardened gate).
+	Verify bool
+
+	// InjectUnsafeSubstitution deliberately weakens the §4.2.2 substitutable
+	// elimination from all-paths to any-path coverage — a planted miscompile
+	// used by cmd/triage and the triage tests to prove the bisect/shrink
+	// machinery catches real optimizer bugs. Never set by a real
+	// configuration.
+	InjectUnsafeSubstitution bool
 }
 
 // Times is the per-phase-family compile time split of Table 4.
@@ -133,85 +146,22 @@ func CompileProgram(prog *ir.Program, cfg Config, execModel *arch.Model) (*Resul
 }
 
 func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result) error {
-	trapModel := cfg.Phase2Model
-	if trapModel == nil {
-		trapModel = execModel
-	}
-	// Scalar replacement consults SpeculativeReads; the configuration
-	// decides whether that capability is used at all.
-	scalarModel := *execModel
-	scalarModel.SpeculativeReads = execModel.SpeculativeReads && cfg.Speculation
-
-	if cfg.Inline {
-		budget := cfg.InlineBudget
-		if budget == 0 {
-			budget = opt.InlineBudget
-		}
-		start := time.Now()
-		res.Inline.Add(opt.InlineWithBudget(f, execModel, budget))
-		res.Times.Other += time.Since(start)
-	}
-	if cfg.OtherOpts {
-		// Rotate top-tested loops into the guarded do-while shape before
-		// any PRE runs: anticipability needs bodies on every path.
-		start := time.Now()
-		opt.RotateLoops(f)
-		res.Times.Other += time.Since(start)
-	}
-
-	iters := cfg.Iterations
-	if iters < 1 {
-		iters = 1
-	}
-	for i := 0; i < iters; i++ {
-		switch cfg.Algo {
-		case AlgoWhaley:
-			start := time.Now()
-			res.Checks.Add(nullcheck.Whaley(f))
-			res.Times.NullCheckOpt += time.Since(start)
-		case AlgoNew:
-			start := time.Now()
-			res.Checks.Add(nullcheck.Phase1(f))
-			res.Times.NullCheckOpt += time.Since(start)
-		}
-		if cfg.OtherOpts {
-			start := time.Now()
-			opt.CopyProp(f)
-			opt.ConstFold(f)
-			if cfg.LightScalar {
-				res.Scalar.Add(opt.ScalarStats{CSE: opt.CSE(f)})
-			} else {
-				res.BoundChecksRemoved += opt.BoundCheckElim(f)
-				res.Scalar.Add(opt.ScalarReplace(f, &scalarModel))
-			}
-			opt.DCE(f)
-			res.Times.Other += time.Since(start)
+	verify := cfg.Verify || envVerify
+	for _, p := range pipeline(cfg, execModel) {
+		if err := runPass(p, f, res, verify, nil); err != nil {
+			return err
 		}
 	}
-
-	start := time.Now()
-	switch {
-	case cfg.Phase2:
-		res.Checks.Add(nullcheck.Phase2(f, trapModel))
-	case cfg.TrapConvert:
-		res.Checks.Implicit += nullcheck.ConvertToTraps(f, trapModel)
-	case cfg.TrapFold:
-		res.Checks.Implicit += nullcheck.FoldAdjacentTraps(f, trapModel)
-	}
-	res.Times.NullCheckOpt += time.Since(start)
-
-	start = time.Now()
-	opt.CopyProp(f)
-	opt.ConstFold(f)
-	opt.DCE(f)
-	opt.SimplifyCFG(f)
-	res.Times.Other += time.Since(start)
-
-	if err := ir.Validate(f); err != nil {
-		return fmt.Errorf("invalid after optimization: %w", err)
+	if !verify {
+		// The verified path already checked after every pass, including the
+		// last one; the fast path keeps the original single post-pipeline
+		// validation.
+		if err := ir.Validate(f); err != nil {
+			return fmt.Errorf("invalid after optimization: %w", err)
+		}
 	}
 	if !cfg.SkipGuardCheck {
-		if err := nullcheck.CheckGuards(f, execModel); err != nil {
+		if err := checkGuardsContained(f, execModel); err != nil {
 			return err
 		}
 	}

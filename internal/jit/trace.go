@@ -1,138 +1,31 @@
 package jit
 
 import (
-	"fmt"
-
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
-	"trapnull/internal/nullcheck"
-	"trapnull/internal/opt"
 )
 
 // PassObserver is invoked after every pipeline pass with the pass name and
 // the function in its current state. Observers are how miscompilations get
 // bisected: run the observed pipeline, execute the function after each pass,
-// and the first divergence names the guilty pass (this is exactly how the
-// bugs in DESIGN.md §6 were found).
+// and the first divergence names the guilty pass — internal/triage automates
+// exactly that.
 type PassObserver func(pass string, f *ir.Func) error
 
 // CompileFuncObserved runs the cfg pipeline on a single function, invoking
-// obs after every pass. It mirrors CompileProgram's per-function pipeline
-// exactly, minus the timing bookkeeping.
+// obs after every pass. It executes the same pass list as CompileProgram
+// (both call pipeline()), with the structural verifier always on, so the
+// observed pipeline can never drift from the production one.
 func CompileFuncObserved(f *ir.Func, cfg Config, execModel *arch.Model, obs PassObserver) error {
-	trapModel := cfg.Phase2Model
-	if trapModel == nil {
-		trapModel = execModel
-	}
-	scalarModel := *execModel
-	scalarModel.SpeculativeReads = execModel.SpeculativeReads && cfg.Speculation
-
-	step := func(pass string) error {
-		if err := ir.Validate(f); err != nil {
-			return fmt.Errorf("after %s: invalid IR: %w", pass, err)
-		}
-		if obs != nil {
-			if err := obs(pass, f); err != nil {
-				return fmt.Errorf("after %s: %w", pass, err)
-			}
-		}
-		return nil
-	}
-
-	if cfg.Inline {
-		budget := cfg.InlineBudget
-		if budget == 0 {
-			budget = opt.InlineBudget
-		}
-		opt.InlineWithBudget(f, execModel, budget)
-		if err := step("inline"); err != nil {
+	res := &Result{Config: cfg}
+	for _, p := range pipeline(cfg, execModel) {
+		if err := runPass(p, f, res, true, obs); err != nil {
 			return err
 		}
 	}
-	if cfg.OtherOpts {
-		opt.RotateLoops(f)
-		if err := step("rotate"); err != nil {
-			return err
-		}
-	}
-
-	iters := cfg.Iterations
-	if iters < 1 {
-		iters = 1
-	}
-	for i := 0; i < iters; i++ {
-		switch cfg.Algo {
-		case AlgoWhaley:
-			nullcheck.Whaley(f)
-			if err := step(fmt.Sprintf("whaley#%d", i)); err != nil {
-				return err
-			}
-		case AlgoNew:
-			nullcheck.Phase1(f)
-			if err := step(fmt.Sprintf("phase1#%d", i)); err != nil {
-				return err
-			}
-		}
-		if cfg.OtherOpts {
-			opt.CopyProp(f)
-			if err := step(fmt.Sprintf("copyprop#%d", i)); err != nil {
-				return err
-			}
-			opt.ConstFold(f)
-			if err := step(fmt.Sprintf("constfold#%d", i)); err != nil {
-				return err
-			}
-			if cfg.LightScalar {
-				opt.CSE(f)
-				if err := step(fmt.Sprintf("cse#%d", i)); err != nil {
-					return err
-				}
-			} else {
-				opt.BoundCheckElim(f)
-				if err := step(fmt.Sprintf("boundelim#%d", i)); err != nil {
-					return err
-				}
-				opt.ScalarReplace(f, &scalarModel)
-				if err := step(fmt.Sprintf("scalar#%d", i)); err != nil {
-					return err
-				}
-			}
-			opt.DCE(f)
-			if err := step(fmt.Sprintf("dce#%d", i)); err != nil {
-				return err
-			}
-		}
-	}
-
-	switch {
-	case cfg.Phase2:
-		nullcheck.Phase2(f, trapModel)
-		if err := step("phase2"); err != nil {
-			return err
-		}
-	case cfg.TrapConvert:
-		nullcheck.ConvertToTraps(f, trapModel)
-		if err := step("trapconvert"); err != nil {
-			return err
-		}
-	case cfg.TrapFold:
-		nullcheck.FoldAdjacentTraps(f, trapModel)
-		if err := step("trapfold"); err != nil {
-			return err
-		}
-	}
-
-	opt.CopyProp(f)
-	opt.ConstFold(f)
-	opt.DCE(f)
-	opt.SimplifyCFG(f)
-	if err := step("cleanup"); err != nil {
-		return err
-	}
-
 	if !cfg.SkipGuardCheck {
-		if err := nullcheck.CheckGuards(f, execModel); err != nil {
-			return fmt.Errorf("guard check: %w", err)
+		if err := checkGuardsContained(f, execModel); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -122,7 +122,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 			in := pin.in
 			m.steps++
 			if m.steps > m.MaxSteps {
-				return Outcome{}, ErrStepLimit
+				return Outcome{}, fmt.Errorf("machine: %s exceeded %d steps: %w", fn.Name, m.MaxSteps, ErrStepLimit)
 			}
 			m.Stats.Instrs++
 			if in.ExcSite {

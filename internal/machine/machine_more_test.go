@@ -1,7 +1,9 @@
 package machine
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"trapnull/internal/arch"
@@ -104,8 +106,12 @@ func TestStepLimit(t *testing.T) {
 	m := New(arch.IA32Win(), p)
 	m.MaxSteps = 10_000
 	_, err := m.Call(f)
-	if err != ErrStepLimit {
+	if !errors.Is(err, ErrStepLimit) {
 		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+	// The wrapped error must say which function ran away and how far it got.
+	if !strings.Contains(err.Error(), "spin") || !strings.Contains(err.Error(), "10000") {
+		t.Fatalf("err = %v, want function name and step count", err)
 	}
 }
 

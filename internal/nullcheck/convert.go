@@ -19,13 +19,28 @@ import (
 // phase-1-only measurement still "utilizes hardware traps" (Table 1 legend)
 // even though the architecture-dependent motion is disabled.
 func ConvertToTraps(f *ir.Func, m *arch.Model) int {
+	return convertToTraps(f, m, dataflow.Intersect)
+}
+
+// ConvertToTrapsAnyPath is ConvertToTraps with its all-paths safety meet
+// deliberately weakened to any-path (union): a check is deleted when SOME
+// later path covers it, so executions taking an uncovered path silently miss
+// their NullPointerException. This is a planted miscompile — the fault the
+// triage tooling's tests and cmd/triage -inject-bug seed to prove the
+// bisect/shrink machinery finds real optimizer bugs. It is never reached by
+// a real configuration.
+func ConvertToTrapsAnyPath(f *ir.Func, m *arch.Model) int {
+	return convertToTraps(f, m, dataflow.Union)
+}
+
+func convertToTraps(f *ir.Func, m *arch.Model, meet dataflow.Meet) int {
 	size := f.NumLocals()
 	genC, killC := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
 		return scanConvert(b, size, m)
 	})
 	res := dataflow.Solve(f, &dataflow.Problem{
 		Dir:          dataflow.Backward,
-		Meet:         dataflow.Intersect,
+		Meet:         meet,
 		Size:         size,
 		Gen:          genC,
 		Kill:         killC,

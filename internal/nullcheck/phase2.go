@@ -18,6 +18,23 @@ import (
 // intersection meet at merges is safe (see DESIGN.md on the union in the
 // paper's formula).
 func Phase2(f *ir.Func, m *arch.Model) Stats {
+	return phase2(f, m, false)
+}
+
+// Phase2UnsafeSubst is Phase2 with its two all-paths safety tests
+// deliberately weakened to any-path: a check moving through a block exit
+// continues when SOME successor expects it (instead of every successor), and
+// the final substitutable elimination runs through ConvertToTrapsAnyPath.
+// Executions that take an uncovered path silently miss their
+// NullPointerException — a planted miscompile that the triage tooling seeds
+// (cmd/triage -inject-bug and the triage tests) to prove the bisect/shrink
+// machinery finds real optimizer bugs. Never reached by a real
+// configuration.
+func Phase2UnsafeSubst(f *ir.Func, m *arch.Model) Stats {
+	return phase2(f, m, true)
+}
+
+func phase2(f *ir.Func, m *arch.Model, unsafeAnyPath bool) Stats {
 	f.SplitCriticalEdges()
 	size := f.NumLocals()
 
@@ -36,7 +53,7 @@ func Phase2(f *ir.Func, m *arch.Model) Stats {
 
 	st := Stats{}
 	for _, b := range f.Blocks {
-		rewriteBlock(b, m, res, &st)
+		rewriteBlock(b, m, res, &st, unsafeAnyPath)
 	}
 
 	st.Eliminated += peepholeImplicit(f, m)
@@ -46,7 +63,11 @@ func Phase2(f *ir.Func, m *arch.Model) Stats {
 	// marks the trapping dereferences that may now carry a deleted check),
 	// and doubling as the Phase1Only lowering keeps phase 2 a strict
 	// superset of it.
-	st.Eliminated += ConvertToTraps(f, m)
+	substMeet := dataflow.Meet(dataflow.Intersect)
+	if unsafeAnyPath {
+		substMeet = dataflow.Union
+	}
+	st.Eliminated += convertToTraps(f, m, substMeet)
 	st.ExplicitRemaining = f.CountOp(ir.OpNullCheck)
 	return st
 }
@@ -95,7 +116,11 @@ func scanForwardMotion(b *ir.Block, size int) (gen, kill *bitset.Set) {
 // latest legal points, as implicit exception-site marks when the consuming
 // dereference is guaranteed to trap, as explicit check instructions
 // otherwise.
-func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats) {
+//
+// unsafeAnyPath weakens the block-exit safety test from "every successor
+// expects the moving check" to "some successor expects it" — the planted
+// Phase2UnsafeSubst miscompile.
+func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats, unsafeAnyPath bool) {
 	size := res.In(b).Len()
 	inner := res.In(b).Copy()
 	inTry := b.Try != ir.NoTry
@@ -148,10 +173,22 @@ func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats) {
 			pending := inner.Copy()
 			pending.ForEach(func(v int) {
 				continues := len(b.Succs) > 0
-				for _, s := range b.Succs {
-					if !res.In(s).Has(v) {
-						continues = false
-						break
+				if unsafeAnyPath {
+					// Any-path variant: one expecting successor suffices, so
+					// the check silently disappears on the others.
+					continues = false
+					for _, s := range b.Succs {
+						if res.In(s).Has(v) {
+							continues = true
+							break
+						}
+					}
+				} else {
+					for _, s := range b.Succs {
+						if !res.In(s).Has(v) {
+							continues = false
+							break
+						}
 					}
 				}
 				if !continues {

@@ -10,8 +10,12 @@ import (
 )
 
 func TestDeepFuzz(t *testing.T) {
+	// In -short mode run a reduced smoke pass instead of skipping outright:
+	// every configuration variant still executes, over a 100x smaller seed
+	// range, so CI catches gross pipeline breakage in seconds.
+	first, last := int64(1000), int64(4000)
 	if testing.Short() {
-		t.Skip("deep fuzz skipped in -short mode")
+		last = first + 30
 	}
 	model := arch.IA32Win()
 	aix := arch.PPCAIX()
@@ -29,7 +33,7 @@ func TestDeepFuzz(t *testing.T) {
 		}
 		return cfg
 	}
-	for seed := int64(1000); seed < 4000; seed++ {
+	for seed := first; seed < last; seed++ {
 		base, fnBase := Generate(variant(seed))
 		mb := machine.New(model, base)
 		outB, err := mb.Call(fnBase, 5)

@@ -1,0 +1,66 @@
+package randprog
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+)
+
+// FuzzDifferential is the native-fuzzing face of TestDifferentialAllLegalConfigs:
+// the fuzzer drives the generator seed, the program input, and the
+// (architecture, configuration) selection, and every mutation must preserve
+// the unoptimized outcome. Run with
+//
+//	go test -fuzz=FuzzDifferential ./internal/randprog
+//
+// The checked-in corpus under testdata/fuzz seeds the interesting regions:
+// the default generator shape, the deep-nesting and no-try variants, and
+// seeds known to exercise check motion across branches.
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(0), int64(5), uint8(0), uint8(0))
+	f.Add(int64(42), int64(0), uint8(1), uint8(1))
+	f.Add(int64(97), int64(-3), uint8(2), uint8(2))
+	f.Add(int64(1643), int64(-3), uint8(0), uint8(0)) // branchy check motion
+	f.Add(int64(123), int64(7), uint8(3), uint8(0))
+
+	f.Fuzz(func(t *testing.T, seed, input int64, cfgSel, archSel uint8) {
+		// Keep runs fast: huge inputs only scale loop trip counts.
+		input %= 32
+
+		var model *arch.Model
+		var configs []jit.Config
+		switch archSel % 3 {
+		case 0:
+			model, configs = arch.IA32Win(), jit.WindowsConfigs()
+		case 1:
+			model, configs = arch.PPCAIX(), legalAIXConfigs()
+		case 2:
+			model, configs = arch.SPARCLike(), jit.WindowsConfigs()
+		}
+		cfg := configs[int(cfgSel)%len(configs)]
+
+		base, fnBase := Generate(DefaultConfig(seed))
+		mb := machine.New(model, base)
+		outB, err := mb.Call(fnBase, input)
+		if err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+
+		p, fn := Generate(DefaultConfig(seed))
+		if _, err := jit.CompileProgram(p, cfg, model); err != nil {
+			t.Fatalf("seed %d [%s/%s]: compile: %v\n%s", seed, model.Name, cfg.Name, err, fn)
+		}
+		mo := machine.New(model, p)
+		out, err := mo.Call(fn, input)
+		if err != nil {
+			t.Fatalf("seed %d [%s/%s]: run: %v\n%s", seed, model.Name, cfg.Name, err, fn)
+		}
+		if out.Exc != outB.Exc || (outB.Exc == rt.ExcNone && out.Value != outB.Value) {
+			t.Fatalf("seed %d input %d [%s/%s]: outcome (%d,%v), want (%d,%v)\n%s",
+				seed, input, model.Name, cfg.Name, out.Value, out.Exc, outB.Value, outB.Exc, fn)
+		}
+	})
+}
