@@ -12,7 +12,11 @@ import (
 	"sync"
 	"testing"
 
+	"trapnull/internal/arch"
 	"trapnull/internal/bench"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/workloads"
 )
 
 var (
@@ -215,5 +219,39 @@ func BenchmarkEndToEndSweep(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = r
+	}
+}
+
+// BenchmarkExec measures pure execution (no compilation) of every workload
+// under the Phase1+2 pipeline on ia32, per engine: the closure-compiled
+// engine versus the reference switch interpreter on identical IR. Each
+// iteration resets the heap and re-verifies the checksum, so the numbers can
+// never come from a wrong-answer fast path.
+func BenchmarkExec(b *testing.B) {
+	for _, w := range append(workloads.JBYTEmark(), workloads.SPECjvm98()...) {
+		for _, eng := range []machine.Engine{machine.EngineClosure, machine.EngineSwitch} {
+			w, eng := w, eng
+			b.Run(w.Name+"/"+eng.String(), func(b *testing.B) {
+				model := arch.IA32Win()
+				p, entryM := w.Build()
+				if _, err := jit.CompileProgram(p, jit.ConfigPhase1Phase2(), model); err != nil {
+					b.Fatal(err)
+				}
+				m := machine.New(model, p)
+				m.Engine = eng
+				want := w.Ref(w.TestN)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Heap.Reset()
+					out, err := m.Call(entryM.Fn, w.TestN)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out.Value != want {
+						b.Fatalf("checksum mismatch: got %d, want %d", out.Value, want)
+					}
+				}
+			})
+		}
 	}
 }

@@ -21,3 +21,11 @@ TRAPNULL_VERIFY=1 go test ./...
 # native fuzz seed corpus; the full 3000-seed sweep already ran above.
 go test -short -run TestDeepFuzz ./internal/randprog
 go test -run FuzzDifferential ./internal/randprog
+# Engine equivalence gate: the whole differential surface again with the
+# reference switch interpreter as the default engine, so a regression in
+# either engine (or in the closure/switch accounting contract) fails CI
+# regardless of which engine the suite above happened to exercise.
+TRAPNULL_ENGINE=switch go test ./internal/machine ./internal/bench ./internal/randprog
+# Benchmark smoke: one iteration of every Exec micro-benchmark (both
+# engines, checksum-verified) so the bench harness itself cannot rot.
+go test -bench=Exec -benchtime=1x -run '^$' .

@@ -9,6 +9,7 @@
 //	benchtab -quick               # small problem sizes (fast smoke run)
 //	benchtab -reps 9              # compile-time measurement repetitions
 //	benchtab -parallel 8          # sweep cells on 8 workers (0 = GOMAXPROCS)
+//	benchtab -engine switch       # run on the reference switch interpreter
 //	benchtab -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -20,6 +21,7 @@ import (
 	"runtime/pprof"
 
 	"trapnull/internal/bench"
+	"trapnull/internal/machine"
 )
 
 func main() {
@@ -30,12 +32,26 @@ func main() {
 		quick      = flag.Bool("quick", false, "use small problem sizes")
 		reps       = flag.Int("reps", 5, "compile-time measurement repetitions")
 		parallel   = flag.Int("parallel", 0, "concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		engine     = flag.String("engine", "", "execution engine: closure (default) or switch; both report identical numbers")
 		ablations  = flag.Bool("ablations", false, "run the ablation experiments instead")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// The simulated measurements are engine-independent by construction; the
+	// flag only picks which engine's host speed the sweep runs at (and lets
+	// the CI gate re-run tables on the reference interpreter). An empty flag
+	// leaves the TRAPNULL_ENGINE-derived default alone.
+	if *engine != "" {
+		e, err := machine.EngineByName(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(2)
+		}
+		machine.DefaultEngine = e
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/workloads"
+)
+
+// TestEngineDifferentialAllWorkloads is the workload half of the engine
+// equivalence proof: every workload under every configuration on both arch
+// models must produce identical Outcome, ExecStats, and Cycles on the
+// closure-compiled engine and the reference switch interpreter. Cycle counts
+// and trap classification are the paper's measurements, so any divergence
+// here is a correctness bug, not a performance detail.
+func TestEngineDifferentialAllWorkloads(t *testing.T) {
+	sweeps := []struct {
+		name    string
+		model   func() *arch.Model
+		configs []jit.Config
+		work    []*workloads.Workload
+	}{
+		{"win/jbytemark", arch.IA32Win, jit.WindowsConfigs(), workloads.JBYTEmark()},
+		{"win/specjvm98", arch.IA32Win, jit.WindowsConfigs(), workloads.SPECjvm98()},
+		{"aix/jbytemark", arch.PPCAIX, jit.AIXConfigs(), workloads.JBYTEmark()},
+		{"aix/specjvm98", arch.PPCAIX, jit.AIXConfigs(), workloads.SPECjvm98()},
+	}
+
+	type result struct {
+		out   machine.Outcome
+		err   string
+		stats machine.ExecStats
+		cyc   int64
+	}
+	// runCell builds and compiles the workload from scratch for each engine:
+	// compilation is deterministic, so the two engines see identical IR.
+	runCell := func(e machine.Engine, model *arch.Model, cfg jit.Config, w *workloads.Workload) result {
+		p, entryM := w.Build()
+		if _, err := jit.CompileProgram(p, cfg, model); err != nil {
+			return result{err: err.Error()}
+		}
+		m := machine.New(model, p)
+		m.Engine = e
+		out, err := m.Call(entryM.Fn, w.TestN)
+		r := result{out: out, stats: m.Stats, cyc: m.Cycles}
+		if err != nil {
+			r.err = err.Error()
+		}
+		return r
+	}
+
+	for _, sw := range sweeps {
+		for _, cfg := range sw.configs {
+			for _, w := range sw.work {
+				c := runCell(machine.EngineClosure, sw.model(), cfg, w)
+				s := runCell(machine.EngineSwitch, sw.model(), cfg, w)
+				id := sw.name + "/" + cfg.Name + "/" + w.Name
+				if c.out != s.out {
+					t.Errorf("%s: outcome diverges: closure=%+v switch=%+v", id, c.out, s.out)
+				}
+				if c.err != s.err {
+					t.Errorf("%s: error diverges: closure=%q switch=%q", id, c.err, s.err)
+				}
+				if c.stats != s.stats {
+					t.Errorf("%s: stats diverge:\nclosure %+v\nswitch  %+v", id, c.stats, s.stats)
+				}
+				if c.cyc != s.cyc {
+					t.Errorf("%s: cycles diverge: closure=%d switch=%d", id, c.cyc, s.cyc)
+				}
+			}
+		}
+	}
+}

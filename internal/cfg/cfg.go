@@ -24,13 +24,15 @@ func ReversePostorderWithHandlers(f *ir.Func) []*ir.Block {
 }
 
 func rpo(f *ir.Func, withHandlers bool) []*ir.Block {
-	seen := make(map[*ir.Block]bool, len(f.Blocks))
-	var post []*ir.Block
+	// Dense visited marks and a pre-sized postorder buffer: this runs once
+	// per Solve, and compile time is itself measured (Tables 3–5).
+	seen := make([]bool, f.MaxBlockID()+1)
+	post := make([]*ir.Block, 0, len(f.Blocks))
 	var dfs func(b *ir.Block)
 	dfs = func(b *ir.Block) {
-		seen[b] = true
+		seen[b.ID] = true
 		for _, s := range b.Succs {
-			if !seen[s] {
+			if !seen[s.ID] {
 				dfs(s)
 			}
 		}
@@ -39,7 +41,7 @@ func rpo(f *ir.Func, withHandlers bool) []*ir.Block {
 	dfs(f.Entry)
 	if withHandlers {
 		for _, r := range f.Regions {
-			if !seen[r.Handler] {
+			if !seen[r.Handler.ID] {
 				dfs(r.Handler)
 			}
 		}
@@ -102,27 +104,28 @@ func Reachable(f *ir.Func) map[*ir.Block]bool {
 // the Cooper–Harvey–Kennedy iterative algorithm. The entry block's idom is
 // itself.
 type Dominators struct {
-	idom  map[*ir.Block]*ir.Block
-	order map[*ir.Block]int // RPO index
+	idom  []*ir.Block // indexed by Block.ID; nil = unreachable
+	order []int       // RPO index by Block.ID
 }
 
 // ComputeDominators builds the dominator tree for f.
 func ComputeDominators(f *ir.Func) *Dominators {
 	rpo := ReversePostorder(f)
-	order := make(map[*ir.Block]int, len(rpo))
+	n := f.MaxBlockID() + 1
+	order := make([]int, n)
 	for i, b := range rpo {
-		order[b] = i
+		order[b.ID] = i
 	}
-	idom := make(map[*ir.Block]*ir.Block, len(rpo))
-	idom[f.Entry] = f.Entry
+	idom := make([]*ir.Block, n)
+	idom[f.Entry.ID] = f.Entry
 
 	intersect := func(a, b *ir.Block) *ir.Block {
 		for a != b {
-			for order[a] > order[b] {
-				a = idom[a]
+			for order[a.ID] > order[b.ID] {
+				a = idom[a.ID]
 			}
-			for order[b] > order[a] {
-				b = idom[b]
+			for order[b.ID] > order[a.ID] {
+				b = idom[b.ID]
 			}
 		}
 		return a
@@ -137,7 +140,7 @@ func ComputeDominators(f *ir.Func) *Dominators {
 			}
 			var newIdom *ir.Block
 			for _, p := range b.Preds {
-				if idom[p] == nil {
+				if idom[p.ID] == nil {
 					continue // unreachable or not yet processed
 				}
 				if newIdom == nil {
@@ -146,8 +149,8 @@ func ComputeDominators(f *ir.Func) *Dominators {
 					newIdom = intersect(newIdom, p)
 				}
 			}
-			if newIdom != nil && idom[b] != newIdom {
-				idom[b] = newIdom
+			if newIdom != nil && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
 				changed = true
 			}
 		}
@@ -155,8 +158,14 @@ func ComputeDominators(f *ir.Func) *Dominators {
 	return &Dominators{idom: idom, order: order}
 }
 
-// Idom returns the immediate dominator of b (entry dominates itself).
-func (d *Dominators) Idom(b *ir.Block) *ir.Block { return d.idom[b] }
+// Idom returns the immediate dominator of b (entry dominates itself), or nil
+// for blocks the tree does not cover (unreachable, or created afterwards).
+func (d *Dominators) Idom(b *ir.Block) *ir.Block {
+	if b.ID >= len(d.idom) {
+		return nil
+	}
+	return d.idom[b.ID]
+}
 
 // Dominates reports whether a dominates b (reflexive).
 func (d *Dominators) Dominates(a, b *ir.Block) bool {
@@ -164,7 +173,7 @@ func (d *Dominators) Dominates(a, b *ir.Block) bool {
 		if a == b {
 			return true
 		}
-		next := d.idom[b]
+		next := d.Idom(b)
 		if next == nil || next == b {
 			return false
 		}

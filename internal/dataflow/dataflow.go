@@ -79,10 +79,17 @@ func GenKill(scan func(b *ir.Block) (gen, kill *bitset.Set)) (genFn, killFn func
 	get := func(b *ir.Block) (*bitset.Set, *bitset.Set) {
 		id := b.ID
 		if id >= len(gens) {
-			grown := make([]*bitset.Set, id+1)
+			// Grow geometrically: the solver asks for summaries in block-ID
+			// order often enough that one-element growth would reallocate
+			// per block.
+			newCap := 2 * len(gens)
+			if newCap <= id {
+				newCap = id + 1
+			}
+			grown := make([]*bitset.Set, newCap)
 			copy(grown, gens)
 			gens = grown
-			grown = make([]*bitset.Set, id+1)
+			grown = make([]*bitset.Set, newCap)
 			copy(grown, kills)
 			kills = grown
 		}
@@ -146,8 +153,10 @@ func Solve(f *ir.Func, p *Problem) *Result {
 	if boundary == nil {
 		boundary = bitset.New(p.Size)
 	}
-	empty := bitset.New(p.Size)
-	edgeScratch := bitset.New(p.Size)
+	var edgeScratch *bitset.Set
+	if p.EdgeAdd != nil || p.EdgeSubtract != nil {
+		edgeScratch = bitset.New(p.Size)
+	}
 
 	// meetFrom folds the (edge-adjusted) value of one reachable neighbor
 	// into acc. The first contribution is copied, later ones meet.
@@ -216,7 +225,7 @@ func Solve(f *ir.Func, p *Problem) *Result {
 			} else if first {
 				// No reachable preds: handler entries assume nothing (the
 				// state at an exception dispatch point is unknown).
-				in.CopyFrom(empty)
+				in.Clear()
 			}
 			if res.out[b.ID].TransferInto(in, kill[b.ID], gen[b.ID]) {
 				for _, s := range b.Succs {

@@ -1,0 +1,449 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/rt"
+)
+
+// runEngine executes fn on a fresh machine with the given engine and returns
+// everything observable: outcome, error, stats, cycles.
+func runEngine(e Engine, a *arch.Model, p *ir.Program, fn *ir.Func, maxSteps int64,
+	setup func(m *Machine) []int64) (Outcome, error, ExecStats, int64) {
+	m := New(a, p)
+	m.Engine = e
+	if maxSteps > 0 {
+		m.MaxSteps = maxSteps
+	}
+	var args []int64
+	if setup != nil {
+		args = setup(m)
+	}
+	out, err := m.Call(fn, args...)
+	return out, err, m.Stats, m.Cycles
+}
+
+// assertEnginesAgree runs fn under both engines and fails unless every
+// observable — Outcome, error, ExecStats, Cycles — is identical. It returns
+// the (shared) outcome and error for further assertions.
+func assertEnginesAgree(t *testing.T, a *arch.Model, p *ir.Program, fn *ir.Func, maxSteps int64,
+	setup func(m *Machine) []int64) (Outcome, error) {
+	t.Helper()
+	cOut, cErr, cStats, cCycles := runEngine(EngineClosure, a, p, fn, maxSteps, setup)
+	sOut, sErr, sStats, sCycles := runEngine(EngineSwitch, a, p, fn, maxSteps, setup)
+	if cOut != sOut {
+		t.Fatalf("outcome diverges: closure=%+v switch=%+v", cOut, sOut)
+	}
+	if (cErr == nil) != (sErr == nil) || (cErr != nil && cErr.Error() != sErr.Error()) {
+		t.Fatalf("error diverges: closure=%v switch=%v", cErr, sErr)
+	}
+	if cStats != sStats {
+		t.Fatalf("stats diverge:\nclosure %+v\nswitch  %+v", cStats, sStats)
+	}
+	if cCycles != sCycles {
+		t.Fatalf("cycles diverge: closure=%d switch=%d", cCycles, sCycles)
+	}
+	return cOut, cErr
+}
+
+// spinFn builds an infinite counting loop whose loop block is batchable
+// (add; add; if — no faulting ops), so the step limit must be enforced by
+// the batch guard's per-instruction fallback, not just the batch header.
+func spinFn() *ir.Func {
+	b := ir.NewFunc("spin", false)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	loop := b.DeclareBlock("loop")
+	b.SetBlock(entry)
+	x := b.Local("x", ir.KindInt)
+	b.Move(x, ir.ConstInt(0))
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Binop(ir.OpAdd, x, ir.Var(x), ir.ConstInt(1))
+	b.Binop(ir.OpAdd, x, ir.Var(x), ir.ConstInt(0))
+	b.If(ir.CondGE, ir.Var(x), ir.ConstInt(0), loop, loop)
+	return b.Finish()
+}
+
+// boundedFn builds a loop that terminates after n iterations; its loop body
+// is batchable, so exact step accounting under batching is observable via
+// Stats.Instrs when the limit is NOT hit.
+func boundedFn() *ir.Func {
+	b := ir.NewFunc("bounded", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	loop := b.DeclareBlock("loop")
+	exit := b.DeclareBlock("exit")
+	b.SetBlock(entry)
+	i := b.Local("i", ir.KindInt)
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), loop, exit)
+	b.SetBlock(exit)
+	b.Return(ir.Var(i))
+	return b.Finish()
+}
+
+// TestEngineStepLimitBoundary pins the batching fix for ErrStepLimit: the
+// closure engine must fire the limit at the same dynamic instruction count
+// as the reference engine — at the exact boundary and one step to either
+// side — even though it normally charges whole blocks at once.
+func TestEngineStepLimitBoundary(t *testing.T) {
+	p, _ := prog()
+	fn := boundedFn()
+
+	// Establish the exact dynamic instruction count of bounded(25).
+	m := New(arch.IA32Win(), p)
+	if _, err := m.Call(fn, 25); err != nil {
+		t.Fatal(err)
+	}
+	total := m.Stats.Instrs
+
+	for _, d := range []int64{-1, 0, +1} {
+		limit := total + d
+		out, err := assertEnginesAgree(t, arch.IA32Win(), p, fn, limit,
+			func(m *Machine) []int64 { return []int64{25} })
+		if d < 0 {
+			if !errors.Is(err, ErrStepLimit) {
+				t.Fatalf("limit=%d (one under): err = %v, want ErrStepLimit", limit, err)
+			}
+		} else {
+			if err != nil {
+				t.Fatalf("limit=%d: unexpected error %v", limit, err)
+			}
+			if out.Value != 25 {
+				t.Fatalf("limit=%d: value = %d, want 25", limit, out.Value)
+			}
+		}
+	}
+
+	// The infinite batchable loop must report the limit with identical
+	// wording and at an identical steps count on both engines.
+	spin := spinFn()
+	_, err := assertEnginesAgree(t, arch.IA32Win(), p, spin, 10_000, nil)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("spin: err = %v, want ErrStepLimit", err)
+	}
+}
+
+// TestEngineStepLimitInsideBatchableBlock places the limit in the middle of
+// a batchable block: the closure engine must fall back to per-instruction
+// accounting and stop mid-block exactly where the reference does, with
+// Stats.Instrs reflecting only the instructions that actually ran.
+func TestEngineStepLimitInsideBatchableBlock(t *testing.T) {
+	p, _ := prog()
+	b := ir.NewFunc("straight", false)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	x := b.Local("x", ir.KindInt)
+	b.Move(x, ir.ConstInt(1))
+	b.Binop(ir.OpAdd, x, ir.Var(x), ir.ConstInt(2))
+	b.Binop(ir.OpAdd, x, ir.Var(x), ir.ConstInt(3))
+	b.Binop(ir.OpAdd, x, ir.Var(x), ir.ConstInt(4))
+	b.Return(ir.Var(x))
+	fn := b.Finish() // 5 instructions, one block, batchable
+
+	for limit := int64(1); limit <= 6; limit++ {
+		out, err := assertEnginesAgree(t, arch.IA32Win(), p, fn, limit, nil)
+		if limit < 5 {
+			if !errors.Is(err, ErrStepLimit) {
+				t.Fatalf("limit=%d: err = %v, want ErrStepLimit", limit, err)
+			}
+		} else if err != nil || out.Value != 10 {
+			t.Fatalf("limit=%d: out=%+v err=%v, want 10", limit, out, err)
+		}
+	}
+}
+
+// TestEngineFloatLocalThroughIntOp reads a float-kinded local through an
+// integer operand path (the reference's val() returns the raw bits). The
+// closure engine's shape specialization must preserve that bit-level view.
+func TestEngineFloatLocalThroughIntOp(t *testing.T) {
+	p, _ := prog()
+	b := ir.NewFunc("fbitsadd", false)
+	x := b.Param("x", ir.KindFloat)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	v := b.Temp(ir.KindInt)
+	// Integer add of a float local: operates on the IEEE bits, not the value.
+	b.Binop(ir.OpAdd, v, ir.Var(x), ir.ConstInt(1))
+	b.Return(ir.Var(v))
+	fn := b.Finish()
+
+	out, err := assertEnginesAgree(t, arch.IA32Win(), p, fn, 0,
+		func(m *Machine) []int64 { return []int64{fbits(2.5)} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fbits(2.5) + 1; out.Value != want {
+		t.Fatalf("got %d, want raw bits %d", out.Value, want)
+	}
+}
+
+// TestEngineShiftAmounts pins the 6-bit shift-count masking across engines
+// for amounts at and beyond 64, including via constants (which the closure
+// engine folds at compile time).
+func TestEngineShiftAmounts(t *testing.T) {
+	p, _ := prog()
+	for _, shift := range []int64{63, 64, 65, 127, 128, -1} {
+		for _, op := range []ir.Op{ir.OpShl, ir.OpShr} {
+			b := ir.NewFunc(fmt.Sprintf("sh_%d_%s", shift, op), false)
+			x := b.Param("x", ir.KindInt)
+			s := b.Param("s", ir.KindInt)
+			b.Result(ir.KindInt)
+			b.Block("entry")
+			v := b.Temp(ir.KindInt)
+			b.Binop(op, v, ir.Var(x), ir.Var(s)) // var/var shape
+			w := b.Temp(ir.KindInt)
+			b.Binop(op, w, ir.Var(v), ir.ConstInt(shift)) // var/const shape
+			u := b.Temp(ir.KindInt)
+			b.Binop(op, u, ir.ConstInt(-8), ir.ConstInt(shift)) // folded shape
+			r := b.Temp(ir.KindInt)
+			b.Binop(ir.OpXor, r, ir.Var(w), ir.Var(u))
+			b.Return(ir.Var(r))
+			fn := b.Finish()
+			if _, err := assertEnginesAgree(t, arch.IA32Win(), p, fn, 0,
+				func(m *Machine) []int64 { return []int64{-7, shift} }); err != nil {
+				t.Fatalf("shift=%d op=%s: %v", shift, op, err)
+			}
+		}
+	}
+}
+
+// TestEngineDivByZeroMidBlock raises ArithmeticException in the middle of a
+// multi-instruction block inside a try region: the pending raise must skip
+// the rest of the block and land in the handler with identical accounting.
+// Also pins that div-by-zero does NOT count as ThrownSoftware (the reference
+// increments it only for explicit checks, bound checks, and OpThrow).
+func TestEngineDivByZeroMidBlock(t *testing.T) {
+	p, _ := prog()
+	for _, op := range []ir.Op{ir.OpDiv, ir.OpRem} {
+		b := ir.NewFunc("mid_"+op.String(), false)
+		y := b.Param("y", ir.KindInt)
+		b.Result(ir.KindInt)
+		entry := b.Block("entry")
+		handler := b.DeclareBlock("handler")
+		exc := b.Local("exc", ir.KindRef)
+		b.SetBlock(entry)
+		a := b.Local("a", ir.KindInt)
+		b.Move(a, ir.ConstInt(100))
+		v := b.Temp(ir.KindInt)
+		b.Binop(op, v, ir.Var(a), ir.Var(y))
+		// Instructions after the faulting div must NOT run when y == 0.
+		b.Binop(ir.OpAdd, a, ir.Var(a), ir.ConstInt(1000))
+		b.Return(ir.Var(a))
+		b.SetBlock(handler)
+		b.Return(ir.ConstInt(-1))
+		f := b.F
+		r := f.NewRegion(handler, exc)
+		entry.Try = r.ID
+		f.RecomputeEdges()
+		if err := ir.Validate(f); err != nil {
+			t.Fatal(err)
+		}
+
+		out, err := assertEnginesAgree(t, arch.IA32Win(), p, f, 0,
+			func(m *Machine) []int64 { return []int64{0} })
+		if err != nil || out.Value != -1 {
+			t.Fatalf("%s by zero: out=%+v err=%v, want handler -1", op, out, err)
+		}
+		// And the non-faulting path.
+		out, err = assertEnginesAgree(t, arch.IA32Win(), p, f, 0,
+			func(m *Machine) []int64 { return []int64{7} })
+		if err != nil || out.Value != 1100 {
+			t.Fatalf("%s no fault: out=%+v err=%v, want 1100", op, out, err)
+		}
+	}
+}
+
+// TestEngineNullCheckFusion exercises the nullcheck→dereference
+// superinstructions on the null and non-null paths, for each fused second
+// op, on both arch models.
+func TestEngineNullCheckFusion(t *testing.T) {
+	for _, am := range []*arch.Model{arch.IA32Win(), arch.PPCAIX()} {
+		p, c := prog()
+		build := func(kind string) *ir.Func {
+			b := ir.NewFunc("fused_"+kind, false)
+			a := b.Param("a", ir.KindRef)
+			b.Result(ir.KindInt)
+			b.Block("entry")
+			v := b.Temp(ir.KindInt)
+			switch kind {
+			case "get":
+				b.GetField(v, a, c.FieldByName("f")) // emits nullcheck; getfield
+			case "put":
+				b.PutField(a, c.FieldByName("f"), ir.ConstInt(9))
+				b.Move(v, ir.ConstInt(1))
+			case "len":
+				b.ArrayLength(v, a)
+			}
+			b.Return(ir.Var(v))
+			return b.Finish()
+		}
+		for _, kind := range []string{"get", "put", "len"} {
+			fn := build(kind)
+			// Null path: explicit check throws, ThrownSoftware counted.
+			out, err := assertEnginesAgree(t, am, p, fn, 0,
+				func(m *Machine) []int64 { return []int64{0} })
+			if err != nil || out.Exc != rt.ExcNullPointer {
+				t.Fatalf("%s/%s null: out=%+v err=%v, want NPE", am.Name, kind, out, err)
+			}
+			// Non-null path.
+			if _, err := assertEnginesAgree(t, am, p, fn, 0, func(m *Machine) []int64 {
+				if kind == "len" {
+					return []int64{m.Heap.AllocArray(4)}
+				}
+				o := m.Heap.AllocObject(c)
+				m.Heap.Store(o+int64(c.FieldByName("f").Offset), 5)
+				return []int64{o}
+			}); err != nil {
+				t.Fatalf("%s/%s ok path: %v", am.Name, kind, err)
+			}
+		}
+	}
+}
+
+// TestEngineCmpIfFusion drives the cmp→if superinstruction down both edges
+// and verifies the cmp result variable is still materialized for later
+// blocks to read.
+func TestEngineCmpIfFusion(t *testing.T) {
+	p, _ := prog()
+	b := ir.NewFunc("cmpif", false)
+	x := b.Param("x", ir.KindInt)
+	y := b.Param("y", ir.KindInt)
+	b.Result(ir.KindInt)
+	entry := b.Block("entry")
+	lt := b.DeclareBlock("lt")
+	ge := b.DeclareBlock("ge")
+	b.SetBlock(entry)
+	cres := b.Local("cres", ir.KindInt)
+	b.Cmp(cres, ir.CondLT, ir.Var(x), ir.Var(y))
+	b.If(ir.CondNE, ir.Var(cres), ir.ConstInt(0), lt, ge)
+	b.SetBlock(lt)
+	// Read the cmp result AFTER the branch: fusion must still write it.
+	r := b.Temp(ir.KindInt)
+	b.Binop(ir.OpAdd, r, ir.Var(cres), ir.ConstInt(100))
+	b.Return(ir.Var(r))
+	b.SetBlock(ge)
+	b.Return(ir.Var(cres))
+	fn := b.Finish()
+
+	for _, tc := range []struct{ x, y, want int64 }{{1, 2, 101}, {2, 1, 0}, {3, 3, 0}} {
+		out, err := assertEnginesAgree(t, arch.IA32Win(), p, fn, 0,
+			func(m *Machine) []int64 { return []int64{tc.x, tc.y} })
+		if err != nil || out.Value != tc.want {
+			t.Fatalf("cmpif(%d,%d) = %+v err=%v, want %d", tc.x, tc.y, out, err, tc.want)
+		}
+	}
+}
+
+// TestEngineRecursiveCallScratch pins the per-closure scratch argument
+// buffer against recursion: fib(12) re-enters the same call closure many
+// times and must still compute correct arguments at every depth.
+func TestEngineRecursiveCallScratch(t *testing.T) {
+	p, _ := prog()
+	b := ir.NewFunc("fib", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	meth := p.AddMethod(nil, "fib", nil, false)
+	entry := b.Block("entry")
+	rec := b.DeclareBlock("rec")
+	base := b.DeclareBlock("base")
+	b.SetBlock(entry)
+	b.If(ir.CondLT, ir.Var(n), ir.ConstInt(2), base, rec)
+	b.SetBlock(base)
+	b.Return(ir.Var(n))
+	b.SetBlock(rec)
+	n1 := b.Temp(ir.KindInt)
+	b.Binop(ir.OpSub, n1, ir.Var(n), ir.ConstInt(1))
+	a := b.Temp(ir.KindInt)
+	b.CallStatic(a, meth, ir.Var(n1))
+	n2 := b.Temp(ir.KindInt)
+	b.Binop(ir.OpSub, n2, ir.Var(n), ir.ConstInt(2))
+	c := b.Temp(ir.KindInt)
+	b.CallStatic(c, meth, ir.Var(n2))
+	s := b.Temp(ir.KindInt)
+	b.Binop(ir.OpAdd, s, ir.Var(a), ir.Var(c))
+	b.Return(ir.Var(s))
+	fn := b.Finish()
+	meth.Fn = fn
+
+	out, err := assertEnginesAgree(t, arch.IA32Win(), p, fn, 0,
+		func(m *Machine) []int64 { return []int64{12} })
+	if err != nil || out.Value != 144 {
+		t.Fatalf("fib(12) = %+v err=%v, want 144", out, err)
+	}
+}
+
+// TestPreparedCacheBounded pushes more distinct Func values through one
+// Machine than the cache bound and asserts both per-function caches stay
+// bounded while execution stays correct.
+func TestPreparedCacheBounded(t *testing.T) {
+	p, _ := prog()
+	m := New(arch.IA32Win(), p)
+	base := boundedFn()
+	for i := 0; i < 3*maxPreparedFuncs+5; i++ {
+		fn := base.Clone()
+		out, err := m.Call(fn, 3)
+		if err != nil || out.Value != 3 {
+			t.Fatalf("iteration %d: out=%+v err=%v", i, out, err)
+		}
+		if len(m.prepared) > maxPreparedFuncs || len(m.compiledFns) > maxPreparedFuncs {
+			t.Fatalf("caches unbounded: prepared=%d compiled=%d (max %d)",
+				len(m.prepared), len(m.compiledFns), maxPreparedFuncs)
+		}
+	}
+}
+
+// TestResetPrepared drops the caches explicitly and proves execution
+// rebuilds them transparently.
+func TestResetPrepared(t *testing.T) {
+	p, _ := prog()
+	m := New(arch.IA32Win(), p)
+	m.Engine = EngineClosure // compiledFns only fills on the closure engine
+	fn := boundedFn()
+	if _, err := m.Call(fn, 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.prepared) == 0 || len(m.compiledFns) == 0 {
+		t.Fatalf("caches not populated: prepared=%d compiled=%d", len(m.prepared), len(m.compiledFns))
+	}
+	m.ResetPrepared()
+	if len(m.prepared) != 0 || len(m.compiledFns) != 0 {
+		t.Fatalf("caches not cleared: prepared=%d compiled=%d", len(m.prepared), len(m.compiledFns))
+	}
+	out, err := m.Call(fn, 5)
+	if err != nil || out.Value != 5 {
+		t.Fatalf("after reset: out=%+v err=%v", out, err)
+	}
+}
+
+// TestEngineByName pins the selection surface used by TRAPNULL_ENGINE and
+// benchtab -engine.
+func TestEngineByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineClosure, true},
+		{"closure", EngineClosure, true},
+		{"switch", EngineSwitch, true},
+		{"bogus", EngineClosure, false},
+	} {
+		e, err := EngineByName(tc.name)
+		if (err == nil) != tc.ok || e != tc.want {
+			t.Fatalf("EngineByName(%q) = %v, %v; want %v ok=%v", tc.name, e, err, tc.want, tc.ok)
+		}
+	}
+	if EngineClosure.String() != "closure" || EngineSwitch.String() != "switch" {
+		t.Fatal("Engine.String mismatch")
+	}
+}

@@ -42,21 +42,33 @@ type Machine struct {
 	Cycles int64
 	// MaxSteps bounds total executed instructions (runaway guard).
 	MaxSteps int64
+	// Engine selects the execution engine. New installs DefaultEngine; both
+	// engines produce identical Outcome/ExecStats/Cycles, so this only
+	// trades host speed for reference simplicity.
+	Engine Engine
 
 	steps int64
 	// prepared caches per-function pre-decoded instruction tables; entries
-	// are keyed (and invalidated) by *ir.Func identity.
+	// are keyed (and invalidated) by *ir.Func identity. Bounded: see
+	// prepare() and ResetPrepared.
 	prepared map[*ir.Func]*pFunc
+	// compiledFns caches closure-compiled functions for EngineClosure,
+	// bounded together with prepared.
+	compiledFns map[*ir.Func]*cFunc
+	// frames is the closure engine's activation-record pool.
+	frames []*frame
 }
 
 // New returns a machine for the given model and program.
 func New(m *arch.Model, prog *ir.Program) *Machine {
 	return &Machine{
-		Arch:     m,
-		Heap:     rt.NewHeap(1 << 16),
-		Prog:     prog,
-		MaxSteps: 2_000_000_000,
-		prepared: make(map[*ir.Func]*pFunc),
+		Arch:        m,
+		Heap:        rt.NewHeap(0),
+		Prog:        prog,
+		MaxSteps:    2_000_000_000,
+		Engine:      DefaultEngine,
+		prepared:    make(map[*ir.Func]*pFunc),
+		compiledFns: make(map[*ir.Func]*cFunc),
 	}
 }
 
@@ -77,7 +89,16 @@ func (m *Machine) Call(fn *ir.Func, args ...int64) (Outcome, error) {
 	if len(args) != fn.NumParams {
 		return Outcome{}, fmt.Errorf("machine: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
 	}
-	return m.exec(fn, args, 0)
+	if m.Engine == EngineSwitch {
+		return m.exec(fn, args, 0)
+	}
+	return m.execClosure(fn, args, 0)
+}
+
+// stepLimitErr is the shared step-limit error; both engines must produce the
+// byte-identical message at the identical dynamic instruction count.
+func (m *Machine) stepLimitErr(fn *ir.Func) error {
+	return fmt.Errorf("machine: %s exceeded %d steps: %w", fn.Name, m.MaxSteps, ErrStepLimit)
 }
 
 // raise describes an in-flight exception during exec.
@@ -122,7 +143,7 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 			in := pin.in
 			m.steps++
 			if m.steps > m.MaxSteps {
-				return Outcome{}, fmt.Errorf("machine: %s exceeded %d steps: %w", fn.Name, m.MaxSteps, ErrStepLimit)
+				return Outcome{}, m.stepLimitErr(fn)
 			}
 			m.Stats.Instrs++
 			if in.ExcSite {

@@ -50,10 +50,32 @@ func decodeOperand(fn *ir.Func, o ir.Operand) pOp {
 	}
 }
 
+// maxPreparedFuncs bounds both per-function caches (prepared tables and
+// closure-compiled functions). The caches are keyed by *ir.Func identity and
+// every compilation builds fresh Func values, so long triage/fuzz sessions
+// that push thousands of distinct functions through one Machine would
+// otherwise grow them without limit. Hitting the bound drops everything;
+// entries rebuild on demand.
+const maxPreparedFuncs = 512
+
+// ResetPrepared drops all cached per-function tables (prepared operands and
+// closure-compiled code). Callers that replay many distinct Func values on
+// one Machine — triage's bisection replays, long fuzz loops — call it
+// between replays to keep the caches from retaining dead functions. Tables
+// still referenced by an in-flight exec remain valid; only the cache entries
+// are dropped.
+func (m *Machine) ResetPrepared() {
+	clear(m.prepared)
+	clear(m.compiledFns)
+}
+
 // prepare returns fn's prepared table, building and caching it on first use.
 func (m *Machine) prepare(fn *ir.Func) *pFunc {
 	if pf, ok := m.prepared[fn]; ok {
 		return pf
+	}
+	if len(m.prepared) >= maxPreparedFuncs {
+		m.ResetPrepared()
 	}
 	pf := &pFunc{blocks: make([][]pInstr, fn.MaxBlockID()+1)}
 	for _, b := range fn.Blocks {

@@ -35,8 +35,10 @@ func ConvertToTrapsAnyPath(f *ir.Func, m *arch.Model) int {
 
 func convertToTraps(f *ir.Func, m *arch.Model, meet dataflow.Meet) int {
 	size := f.NumLocals()
+	scratch := bitset.New(size)
 	genC, killC := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
-		return scanConvert(b, size, m)
+		scratch.Clear()
+		return scanConvert(b, size, m, scratch)
 	})
 	res := dataflow.Solve(f, &dataflow.Problem{
 		Dir:          dataflow.Backward,
@@ -48,9 +50,10 @@ func convertToTraps(f *ir.Func, m *arch.Model, meet dataflow.Meet) int {
 	})
 
 	removed := 0
+	cur := bitset.New(size)
 	for _, b := range f.Blocks {
 		inTry := b.Try != ir.NoTry
-		cur := res.Out(b).Copy()
+		cur.CopyFrom(res.Out(b))
 		for i := len(b.Instrs) - 1; i >= 0; i-- {
 			in := b.Instrs[i]
 			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {
@@ -93,12 +96,10 @@ func convertToTraps(f *ir.Func, m *arch.Model, meet dataflow.Meet) int {
 // variables whose first in-block event, with no earlier barrier, is an
 // explicit check or a guaranteed-trapping dereference; Kill matches the
 // motion Kill of §4.2.1.
-func scanConvert(b *ir.Block, size int, m *arch.Model) (gen, kill *bitset.Set) {
-	gen = bitset.New(size)
-	kill = bitset.New(size)
+func scanConvert(b *ir.Block, size int, m *arch.Model, decided *bitset.Set) (gen, kill *bitset.Set) {
+	gen, kill = bitset.NewPair(size)
 	inTry := b.Try != ir.NoTry
 	barrierAbove := false
-	decided := bitset.New(size)
 	for _, in := range b.Instrs {
 		if in.Op == ir.OpNullCheck {
 			v := int(in.NullCheckVar())

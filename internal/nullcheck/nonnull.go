@@ -14,8 +14,7 @@ import (
 func nonNullAnalysis(f *ir.Func, extraEdge map[*ir.Block]*bitset.Set) *dataflow.Result {
 	size := f.NumLocals()
 	genN, killN := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
-		gen := bitset.New(size)
-		kill := bitset.New(size)
+		gen, kill := bitset.NewPair(size)
 		scanNonNull(b, gen, kill)
 		return gen, kill
 	})
@@ -97,8 +96,9 @@ func stepNonNull(cur *bitset.Set, in *ir.Instr) {
 // number of checks removed.
 func eliminateKnownNonNull(f *ir.Func, res *dataflow.Result) int {
 	removed := 0
+	cur := bitset.New(f.NumLocals())
 	for _, b := range f.Blocks {
-		cur := res.In(b).Copy()
+		cur.CopyFrom(res.In(b))
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {

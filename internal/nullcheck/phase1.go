@@ -25,8 +25,10 @@ func Phase1(f *ir.Func) Stats {
 	f.RecomputeEdges()
 
 	// --- §4.1.1: backward movable-area analysis -------------------------
+	scratch := bitset.New(size)
 	genB, killB := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
-		return scanBackwardMotion(b, size)
+		scratch.Clear()
+		return scanBackwardMotion(b, size, scratch)
 	})
 	bwd := dataflow.Solve(f, &dataflow.Problem{
 		Dir:          dataflow.Backward,
@@ -41,8 +43,11 @@ func Phase1(f *ir.Func) Stats {
 	// --- Earliest(n): checks anticipated at the exit of n that no
 	// predecessor anticipates at its own exit ----------------------------
 	earliest := make(map[*ir.Block]*bitset.Set, len(f.Blocks))
-	for _, b := range f.Blocks {
-		e := bwd.Out(b).Copy()
+	slab := bitset.NewSlab(len(f.Blocks), size)
+	rv := refVars(f)
+	for i, b := range f.Blocks {
+		e := slab[i]
+		e.CopyFrom(bwd.Out(b))
 		for _, p := range b.Preds {
 			// e ∩ ¬Out(p) is plain set difference.
 			e.Subtract(bwd.Out(p))
@@ -50,7 +55,7 @@ func Phase1(f *ir.Func) Stats {
 		// Only variables that actually have checks somewhere benefit from
 		// insertion; Out_bwd already guarantees that, but restrict to ref
 		// variables for hygiene.
-		e.Intersect(refVars(f))
+		e.Intersect(rv)
 		earliest[b] = e
 	}
 
@@ -88,12 +93,11 @@ func Phase1(f *ir.Func) Stats {
 //
 // Kill_bwd: checks that cannot move up through b — the whole universe when
 // the block contains a side-effect barrier, plus every overwritten variable.
-func scanBackwardMotion(b *ir.Block, size int) (gen, kill *bitset.Set) {
-	gen = bitset.New(size)
-	kill = bitset.New(size)
+// blockedAbove is caller-provided scratch, cleared on entry.
+func scanBackwardMotion(b *ir.Block, size int, blockedAbove *bitset.Set) (gen, kill *bitset.Set) {
+	gen, kill = bitset.NewPair(size)
 	inTry := b.Try != ir.NoTry
 	barrierAbove := false
-	blockedAbove := bitset.New(size)
 	for _, in := range b.Instrs {
 		if in.Op == ir.OpNullCheck {
 			v := int(in.NullCheckVar())

@@ -38,8 +38,10 @@ func phase2(f *ir.Func, m *arch.Model, unsafeAnyPath bool) Stats {
 	f.SplitCriticalEdges()
 	size := f.NumLocals()
 
+	scratch := bitset.New(size)
 	genF, killF := dataflow.GenKill(func(b *ir.Block) (*bitset.Set, *bitset.Set) {
-		return scanForwardMotion(b, size)
+		scratch.Clear()
+		return scanForwardMotion(b, size, scratch)
 	})
 	res := dataflow.Solve(f, &dataflow.Problem{
 		Dir:          dataflow.Forward,
@@ -80,12 +82,10 @@ func phase2(f *ir.Func, m *arch.Model, unsafeAnyPath bool) Stats {
 // Kill: checks that cannot move down through b — everything when a barrier
 // is present, plus overwritten variables, plus variables whose slot is
 // dereferenced (the dereference consumes the moving check).
-func scanForwardMotion(b *ir.Block, size int) (gen, kill *bitset.Set) {
-	gen = bitset.New(size)
-	kill = bitset.New(size)
+func scanForwardMotion(b *ir.Block, size int, blockedBelow *bitset.Set) (gen, kill *bitset.Set) {
+	gen, kill = bitset.NewPair(size)
 	inTry := b.Try != ir.NoTry
 	barrierBelow := false
-	blockedBelow := bitset.New(size)
 	for i := len(b.Instrs) - 1; i >= 0; i-- {
 		in := b.Instrs[i]
 		if in.Op == ir.OpNullCheck {

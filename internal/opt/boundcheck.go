@@ -66,15 +66,15 @@ func BoundCheckElim(f *ir.Func) int {
 			}
 		}
 	}
+	kid := bitset.New(size)
 	scan := func(b *ir.Block) (gen, kill *bitset.Set) {
-		gen = bitset.New(size)
-		kill = bitset.New(size)
+		gen, kill = bitset.NewPair(size)
 		for _, in := range b.Instrs {
 			if k, ok := boundKey(in); ok {
 				gen.Add(index[k])
 			}
 			if in.HasDst() {
-				kid := bitset.New(size)
+				kid.Clear()
 				killsOf(in.Dst, kid)
 				gen.Subtract(kid)
 				kill.Union(kid)
@@ -93,8 +93,9 @@ func BoundCheckElim(f *ir.Func) int {
 	})
 
 	removed := 0
+	cur := bitset.New(size)
 	for _, b := range f.Blocks {
-		cur := res.In(b).Copy()
+		cur.CopyFrom(res.In(b))
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if k, ok := boundKey(in); ok {
@@ -106,7 +107,7 @@ func BoundCheckElim(f *ir.Func) int {
 				cur.Add(ki)
 			}
 			if in.HasDst() {
-				kid := bitset.New(size)
+				kid.Clear()
 				killsOf(in.Dst, kid)
 				cur.Subtract(kid)
 			}

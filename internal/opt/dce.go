@@ -99,8 +99,7 @@ func markFrom(b *ir.Block, reach map[*ir.Block]bool) {
 func liveness(f *ir.Func) *dataflow.Result {
 	size := f.NumLocals()
 	scan := func(b *ir.Block) (use, def *bitset.Set) {
-		use = bitset.New(size)
-		def = bitset.New(size)
+		use, def = bitset.NewPair(size)
 		if b.Try != ir.NoTry {
 			// A handler can observe any local after any faulting point, and
 			// handlers are not connected by CFG edges; treat everything as

@@ -1,0 +1,84 @@
+package randprog
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+)
+
+// TestEngineDifferentialRandprog is the fuzz half of the engine equivalence
+// proof: the closure-compiled engine and the reference switch interpreter
+// must agree on Outcome, ExecStats, Cycles, AND errors over a large corpus
+// of generated programs — uncompiled and fully optimized, on both arch
+// models. Unlike the output-only deep fuzz, this compares the complete
+// accounting, because cycle counts and trap classification are the paper's
+// measurements.
+func TestEngineDifferentialRandprog(t *testing.T) {
+	first, last := int64(7000), int64(8200) // 1200 seeds
+	if testing.Short() {
+		last = first + 150
+	}
+
+	type result struct {
+		out   machine.Outcome
+		err   string
+		stats machine.ExecStats
+		cyc   int64
+	}
+
+	variant := func(seed int64) Config {
+		cfg := DefaultConfig(seed)
+		switch seed % 4 {
+		case 1:
+			cfg.MaxDepth = 5
+		case 2:
+			cfg.AllowTry = false
+			cfg.MaxStmts = 10
+		case 3:
+			cfg.AllowNull = false
+			cfg.AllowOOB = false
+		}
+		return cfg
+	}
+
+	models := []*arch.Model{arch.IA32Win(), arch.PPCAIX()}
+	for seed := first; seed < last; seed++ {
+		// Cycle through all four (model, compiled?) combinations: even seeds
+		// run the raw generated program, odd seeds run it through the full
+		// Phase1+2 pipeline (or the AIX speculation pipeline on the AIX
+		// model), so both optimized and unoptimized IR shapes hit both
+		// engines on both models.
+		model := models[(seed>>1)%2]
+		compiled := seed%2 == 1
+		var results [2]result
+		for i, e := range []machine.Engine{machine.EngineClosure, machine.EngineSwitch} {
+			p, fn := Generate(variant(seed))
+			if compiled {
+				cfg := jit.ConfigPhase1Phase2()
+				if model.Name == "ppc-aix" {
+					cfg = jit.ConfigAIXSpeculation()
+				}
+				if _, err := jit.CompileProgram(p, cfg, model); err != nil {
+					t.Fatalf("seed %d: compile: %v", seed, err)
+				}
+			}
+			m := machine.New(model, p)
+			m.Engine = e
+			out, err := m.Call(fn, 5)
+			r := result{out: out, stats: m.Stats, cyc: m.Cycles}
+			if err != nil {
+				r.err = err.Error()
+			}
+			results[i] = r
+		}
+		c, s := results[0], results[1]
+		if c.out != s.out || c.err != s.err || c.stats != s.stats || c.cyc != s.cyc {
+			t.Fatalf("seed %d [%s]: engines diverge:\nclosure out=%+v err=%q stats=%+v cycles=%d\nswitch  out=%+v err=%q stats=%+v cycles=%d",
+				seed, model.Name,
+				c.out, c.err, c.stats, c.cyc,
+				s.out, s.err, s.stats, s.cyc)
+		}
+	}
+}

@@ -86,8 +86,21 @@ func (h *Heap) AllocWords(n int64) int64 {
 	addr := h.next
 	h.next += n * ir.WordBytes
 	need := (h.next - HeapBase) / ir.WordBytes
-	if int64(len(h.words)) < need {
-		h.words = append(h.words, make([]int64, need-int64(len(h.words)))...)
+	if old := int64(len(h.words)); old < need {
+		if need <= int64(cap(h.words)) {
+			// Reset keeps capacity, so re-extended cells hold stale values
+			// from the previous run and must be re-zeroed.
+			h.words = h.words[:need]
+			clear(h.words[old:])
+		} else {
+			newCap := 2 * int64(cap(h.words))
+			if newCap < need {
+				newCap = need
+			}
+			grown := make([]int64, need, newCap)
+			copy(grown, h.words)
+			h.words = grown
+		}
 	}
 	return addr
 }

@@ -215,6 +215,12 @@ func bisect(c Case, div *Divergence, rep *Report) error {
 	for m, f := range initial {
 		current[m] = f
 	}
+	// One machine serves every replay. The timeline swaps Method.Fn to a
+	// different *ir.Func snapshot between evaluations, and the machine caches
+	// prepared tables and closure-compiled bodies keyed by Func identity —
+	// without dropping them, a long timeline would retain every snapshot ever
+	// replayed. ResetPrepared is exactly the invalidation hook for this.
+	mach := machine.New(c.Model, prog)
 	eval := func() (Outcome, error) {
 		for m, f := range current {
 			m.Fn = f
@@ -224,7 +230,15 @@ func bisect(c Case, div *Divergence, rep *Report) error {
 				m.Fn = f
 			}
 		}()
-		return interpret(prog, entryMethod.Fn, c.Model, div.Input)
+		mach.ResetPrepared()
+		mach.Heap.Reset()
+		mach.Stats = machine.ExecStats{}
+		mach.Cycles = 0
+		out, err := mach.Call(entryMethod.Fn, div.Input)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Value: out.Value, Exc: out.Exc}, nil
 	}
 
 	if out, err := eval(); err != nil {
