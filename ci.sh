@@ -29,3 +29,14 @@ TRAPNULL_ENGINE=switch go test ./internal/machine ./internal/bench ./internal/ra
 # Benchmark smoke: one iteration of every Exec micro-benchmark (both
 # engines, checksum-verified) so the bench harness itself cannot rot.
 go test -bench=Exec -benchtime=1x -run '^$' .
+# Observability smoke: compile-and-run a sample program with tracing and
+# remarks on, then validate the emitted Chrome trace parses and the fate
+# ledger conserves (nulljit exits non-zero when it does not). The
+# obs-off/obs-on equivalence test then runs under the reference switch
+# engine too, so neither engine's measurements can drift when observed.
+obs_trace="$(mktemp -t trapnull-trace.XXXXXX.json)"
+trap 'rm -f "$obs_trace"' EXIT
+go run ./cmd/nulljit -workload Assignment -config full -remarks -profile -trace "$obs_trace" > /dev/null
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); evs=d['traceEvents']; assert evs and all(e.get('ph')=='X' for e in evs), 'bad trace events'" "$obs_trace"
+go test -run 'TestObsEquivalence|TestFateConservation' ./internal/bench
+TRAPNULL_ENGINE=switch go test -run TestObsEquivalence ./internal/bench

@@ -10,6 +10,9 @@
 //	benchtab -reps 9              # compile-time measurement repetitions
 //	benchtab -parallel 8          # sweep cells on 8 workers (0 = GOMAXPROCS)
 //	benchtab -engine switch       # run on the reference switch interpreter
+//	benchtab -trace out.json      # Chrome trace of the sweep (Perfetto-viewable)
+//	benchtab -remarks             # per-config null check fate histograms
+//	benchtab -profile             # hot-block execution profile per cell
 //	benchtab -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -22,6 +25,7 @@ import (
 
 	"trapnull/internal/bench"
 	"trapnull/internal/machine"
+	"trapnull/internal/obs"
 )
 
 func main() {
@@ -35,6 +39,9 @@ func main() {
 		engine     = flag.String("engine", "", "execution engine: closure (default) or switch; both report identical numbers")
 		ablations  = flag.Bool("ablations", false, "run the ablation experiments instead")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the sweep to this file")
+		remarks    = flag.Bool("remarks", false, "collect null-check fate remarks (adds fate histograms to tables/JSON)")
+		profile    = flag.Bool("profile", false, "profile execution (adds hot-block summaries to tables/JSON)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -97,7 +104,22 @@ func main() {
 	// A failing cell does not abort the sweep: RunAll always returns the
 	// full (possibly partial) report. Render it — failed cells appear as
 	// ERROR(<reason>) entries — then report the failures and exit non-zero.
-	rep, sweepErr := bench.RunAll(bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel})
+	opts := bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel,
+		Remarks: *remarks, Profile: *profile}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		opts.Trace = tr
+	}
+	rep, sweepErr := bench.RunAll(opts)
+
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %d trace events to %s\n", len(tr.Events()), *traceOut)
+	}
 
 	if *asJSON {
 		data, err := rep.JSON()
@@ -129,6 +151,12 @@ func main() {
 		emit(fmt.Sprintf("table%d", *table))
 	case *figure != 0:
 		emit(fmt.Sprintf("figure%d", *figure))
+	}
+	if *remarks {
+		fmt.Print(rep.FateTables())
+	}
+	if *profile {
+		fmt.Print(rep.ProfileTables())
 	}
 	failOn(sweepErr)
 }

@@ -7,6 +7,9 @@
 // Usage:
 //
 //	nulljit -workload Assignment -config full -arch ia32 -print
+//	nulljit -trace out.json       # Chrome trace of compile passes + execution
+//	nulljit -remarks              # per-method null check fate ledger
+//	nulljit -profile              # hot-block execution profile
 //	nulljit -list
 package main
 
@@ -16,6 +19,7 @@ import (
 	"os"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/codegen"
@@ -23,6 +27,7 @@ import (
 	"trapnull/internal/jasm"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
+	"trapnull/internal/obs"
 	"trapnull/internal/rt"
 	"trapnull/internal/workloads"
 )
@@ -71,6 +76,10 @@ func main() {
 		list   = flag.Bool("list", false, "list workloads and exit")
 		before = flag.Bool("print-before", false, "print the unoptimized entry function IR")
 		prof   = flag.String("cpuprofile", "", "write a CPU profile of compile+run to this file")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (pass spans + execution) to this file")
+		remarks  = flag.Bool("remarks", false, "print the per-method null check fate ledger")
+		profile  = flag.Bool("profile", false, "print the hot-block execution profile")
 	)
 	flag.Parse()
 
@@ -124,7 +133,25 @@ func main() {
 		fmt.Print(entryFn.String())
 	}
 
-	res, err := jit.CompileProgram(prog, cfg, model)
+	// Observability: build an Observer only when a -trace/-remarks/-profile
+	// flag asks for one, so the default path stays the unobserved compile.
+	var tr *obs.Trace
+	var rem *obs.Remarks
+	var ob *jit.Observer
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+	}
+	if *remarks || *profile {
+		rem = obs.NewRemarks()
+	}
+	if tr != nil || rem != nil {
+		ob = &jit.Observer{Trace: tr, Remarks: rem}
+		if tr != nil {
+			ob.TID = tr.NextTID()
+		}
+	}
+
+	res, err := jit.CompileProgramObserved(prog, cfg, model, ob)
 	fail(err)
 
 	if *pr {
@@ -139,19 +166,32 @@ func main() {
 		fmt.Print(jasm.Format(prog))
 	}
 
+	label := *wname
+	if *file != "" {
+		label = *file
+	}
+
 	m := machine.New(model, prog)
+	var execProf *obs.ExecProfile
+	if *profile {
+		execProf = obs.NewExecProfile()
+		m.Profile = execProf
+	}
 	var out machine.Outcome
+	execStart := time.Now()
 	if entryFn.NumParams > 0 {
 		out, err = m.Call(entryFn, size)
 	} else {
 		out, err = m.Call(entryFn)
 	}
+	if tr != nil {
+		tr.Span(ob.TID, "exec", "run "+label, execStart, time.Since(execStart),
+			map[string]any{"cycles": m.Cycles, "instrs": m.Stats.Instrs})
+		fail(tr.WriteFile(*traceOut))
+		fmt.Fprintf(os.Stderr, "nulljit: wrote %d trace events to %s\n", len(tr.Events()), *traceOut)
+	}
 	fail(err)
 
-	label := *wname
-	if *file != "" {
-		label = *file
-	}
 	fmt.Printf("program     %s (n=%d) on %s under %s\n", label, size, model.Name, cfg.Name)
 	if out.Exc != rt.ExcNone {
 		fmt.Printf("exception   %v\n", out.Exc)
@@ -177,6 +217,22 @@ func main() {
 	fmt.Printf("dynamic     instrs=%d explicit-checks=%d implicit-sites=%d boundchecks=%d loads=%d stores=%d calls=%d traps=%d\n",
 		m.Stats.Instrs, m.Stats.ExplicitChecks, m.Stats.ImplicitSites, m.Stats.BoundChecks,
 		m.Stats.Loads, m.Stats.Stores, m.Stats.Calls, m.Stats.TrapsTaken)
+
+	if *remarks {
+		var sb strings.Builder
+		rem.Render(&sb)
+		fmt.Print(sb.String())
+		if t := rem.Totals(); !t.Conserved() || rem.Conflicts() > 0 {
+			fail(fmt.Errorf("fate conservation violated: tracked=%d fated=%d lost=%d conflicts=%d",
+				t.Tracked(), t.Fated(), t.Lost, rem.Conflicts()))
+		}
+	}
+	if *profile {
+		sum := execProf.Summary(10, rem, m.Stats.TrapsTaken, m.Stats.ExplicitChecks, m.Stats.ImplicitSites)
+		var sb strings.Builder
+		sum.Render(&sb)
+		fmt.Print(sb.String())
+	}
 }
 
 func fail(err error) {

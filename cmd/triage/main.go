@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
@@ -134,6 +135,12 @@ func main() {
 	fmt.Printf("divergence:       %v\n", rep.Divergence)
 	fmt.Printf("first bad pass:   %s (compiling %s)\n", rep.Pass, rep.Method)
 	fmt.Printf("minimal entry:    %d instructions\n", rep.MinimalInstrs)
+	if len(rep.PassTimes) > 0 {
+		fmt.Printf("\n--- pass timings up to the guilty pass (observed recompilation) ---\n")
+		for _, pt := range rep.PassTimes {
+			fmt.Printf("%-28s %-24s %v\n", pt.Method, pt.Pass, pt.Elapsed.Round(time.Microsecond))
+		}
+	}
 	fmt.Printf("\n--- IR after %s on %s ---\n%s", rep.Pass, rep.Method, rep.SnapshotIR)
 	fmt.Printf("\n--- minimized reproducer (jasm) ---\n%s", rep.Reproducer)
 	fmt.Printf("\n--- regression test ---\n%s", rep.RegressionTest)

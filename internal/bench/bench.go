@@ -16,6 +16,7 @@ import (
 	"trapnull/internal/arch"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
+	"trapnull/internal/obs"
 	"trapnull/internal/rt"
 	"trapnull/internal/workloads"
 )
@@ -41,6 +42,17 @@ type Cell struct {
 	// measurement fields above are zero. A failed cell never aborts the
 	// sweep — tables render it as ERROR(<reason>).
 	Err string
+
+	// Fates is the null-check fate histogram of the cell's compilation; nil
+	// unless Options.Remarks. Profile is the hot-block execution summary;
+	// nil unless Options.Profile. Both are deterministic (fixed-order
+	// structs, sorted slices) so they extend the sweep's determinism
+	// contract.
+	Fates   *obs.FateCounts
+	Profile *obs.ProfileSummary
+	// remarks backs Fates with the full per-method ledgers (hot-block
+	// overlays and renderers use it); not serialized.
+	remarks *obs.Remarks
 }
 
 // Failed reports whether the cell is an error entry.
@@ -83,7 +95,21 @@ type Options struct {
 	// runs start-to-finish on its own goroutine with CompileReps
 	// unchanged, so per-phase compile accounting (Tables 3–5) stays valid.
 	Parallelism int
+
+	// Trace, when non-nil, collects Chrome trace-event spans: one lane per
+	// cell, a cell span wrapping the measured compile and run, pass and
+	// function spans nested inside (benchtab -trace).
+	Trace *obs.Trace
+	// Remarks attaches a fate ledger to every cell's final compilation and
+	// fills Cell.Fates (benchtab -remarks; JSON check_fates).
+	Remarks bool
+	// Profile counts block entries during every cell's run and fills
+	// Cell.Profile (benchtab -profile; JSON profile).
+	Profile bool
 }
+
+// observed reports whether the final compile rep needs an observer.
+func (o Options) observed() bool { return o.Trace != nil || o.Remarks }
 
 func (o Options) workers(total int) int {
 	n := o.Parallelism
@@ -199,22 +225,65 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		n = w.TestN
 	}
 
+	cellName := cfg.Name + "/" + w.Name
+
 	// Compile: repeat for timing stability, keeping the fastest rep (the
-	// one least disturbed by the host). The final rep's program is run.
+	// one least disturbed by the host). The final rep's program is run, and
+	// only the final rep is observed — remarks and trace spans describe
+	// exactly the program the measurements come from. (With tracing on, the
+	// observed rep's compile timing includes the span bookkeeping; the
+	// overhead budget test in internal/obs bounds it.)
 	var best *jit.Result
 	var finalProg *machine.Machine
+	var rem *obs.Remarks
+	var prof *obs.ExecProfile
+	var tid int64
+	var cellStart time.Time
 	for rep := 0; rep < opts.CompileReps; rep++ {
 		p, entryM := w.Build()
-		res, err := jit.CompileProgram(p, cfg, model)
+		final := rep == opts.CompileReps-1
+
+		var res *jit.Result
+		var err error
+		if final && opts.observed() {
+			ob := &jit.Observer{}
+			if opts.Trace != nil {
+				tid = opts.Trace.NextTID()
+				cellStart = time.Now()
+				ob.Trace = opts.Trace
+				ob.TID = tid
+			}
+			if opts.Remarks {
+				rem = obs.NewRemarks()
+				ob.Remarks = rem
+			}
+			res, err = jit.CompileProgramObserved(p, cfg, model, ob)
+		} else {
+			res, err = jit.CompileProgram(p, cfg, model)
+		}
 		if err != nil {
 			return errCell(failReason(err))
 		}
 		if best == nil || res.Times.Total() < best.Times.Total() {
 			best = res
 		}
-		if rep == opts.CompileReps-1 {
+		if final {
 			mach := machine.New(model, p)
+			if opts.Profile {
+				prof = obs.NewExecProfile()
+				mach.Profile = prof
+			}
+			var execStart time.Time
+			if opts.Trace != nil {
+				execStart = time.Now()
+			}
 			out, err := mach.Call(entryM.Fn, n)
+			if opts.Trace != nil {
+				now := time.Now()
+				opts.Trace.Span(tid, "exec", "run "+cellName, execStart, now.Sub(execStart),
+					map[string]any{"cycles": mach.Cycles, "instrs": mach.Stats.Instrs})
+				opts.Trace.Span(tid, "cell", cellName, cellStart, now.Sub(cellStart), nil)
+			}
 			if err != nil {
 				return errCell(failReason(err))
 			}
@@ -228,7 +297,7 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		}
 	}
 
-	return &Cell{
+	cell = &Cell{
 		Workload:     w.Name,
 		Config:       cfg.Name,
 		Cycles:       finalProg.Cycles,
@@ -238,7 +307,20 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		Exec:         finalProg.Stats,
 		Static:       *best,
 	}
+	if rem != nil {
+		fc := rem.Totals()
+		cell.Fates = &fc
+		cell.remarks = rem
+	}
+	if prof != nil {
+		cell.Profile = prof.Summary(hotBlockTopN, rem,
+			finalProg.Stats.TrapsTaken, finalProg.Stats.ExplicitChecks, finalProg.Stats.ImplicitSites)
+	}
+	return cell
 }
+
+// hotBlockTopN bounds the per-cell hot-block report.
+const hotBlockTopN = 10
 
 // Index is the jBYTEmark-style score: iterations of the reference machine
 // per simulated second (larger is better).

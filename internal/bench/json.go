@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"time"
+
+	"trapnull/internal/obs"
 )
 
 // jsonCell is the export shape of one measurement.
@@ -22,6 +24,14 @@ type jsonCell struct {
 	StaticImplicit int     `json:"static_implicit"`
 	StaticExplicit int     `json:"static_explicit_left"`
 	Eliminated     int     `json:"static_eliminated"`
+	// Fates and Profile are the obs-layer extensions: the per-cell
+	// null-check fate histogram (Options.Remarks) and the hot-block
+	// execution summary (Options.Profile). Both are omitted entirely when
+	// the layer is off, so obs-disabled JSON is byte-identical to the
+	// pre-obs shape; both are fixed-order structs with sorted slices, so
+	// two marshals of the same sweep are byte-identical.
+	Fates   *obs.FateCounts     `json:"check_fates,omitempty"`
+	Profile *obs.ProfileSummary `json:"profile,omitempty"`
 	// Error carries the deterministic failure reason of an error cell; the
 	// measurement fields are zero when it is set.
 	Error string `json:"error,omitempty"`
@@ -72,6 +82,8 @@ func (r *Report) JSON() ([]byte, error) {
 					StaticImplicit: c.Static.Checks.Implicit,
 					StaticExplicit: c.Static.Checks.ExplicitRemaining,
 					Eliminated:     c.Static.Checks.Eliminated,
+					Fates:          c.Fates,
+					Profile:        c.Profile,
 				})
 			}
 		}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"trapnull/internal/obs"
+)
+
+// matrices returns the report's matrices with their display names, in the
+// fixed render order shared by the JSON export.
+func (r *Report) matrices() []struct {
+	Name string
+	M    *Matrix
+} {
+	return []struct {
+		Name string
+		M    *Matrix
+	}{
+		{"jBYTEmark on ia32-win", r.WinJB},
+		{"SPECjvm98 on ia32-win", r.WinSpec},
+		{"jBYTEmark on ppc-aix", r.AIXJB},
+		{"SPECjvm98 on ppc-aix", r.AIXSpec},
+	}
+}
+
+// FateTables renders the null-check fate histograms collected under
+// Options.Remarks: one grid per matrix, one row per configuration with the
+// fates aggregated across that configuration's workloads. Empty when the
+// sweep ran without remarks.
+func (r *Report) FateTables() string {
+	var sb strings.Builder
+	header := []string{"config", "source", "inlined", "moved",
+		"elim", "hoist", "sunk", "conv", "subst", "dead", "kept", "lost"}
+	for _, mx := range r.matrices() {
+		m := mx.M
+		var rows [][]string
+		for _, cfg := range m.Configs {
+			var agg obs.FateCounts
+			seen := false
+			for _, w := range m.workloadNames() {
+				c := m.Cell(cfg.Name, w)
+				if usable(c) && c.Fates != nil {
+					agg.Add(*c.Fates)
+					seen = true
+				}
+			}
+			if !seen {
+				continue
+			}
+			row := []string{cfg.Name}
+			for _, v := range []int{agg.Source, agg.Inlined, agg.Moved,
+				agg.Eliminated, agg.Hoisted, agg.Sunk, agg.Converted,
+				agg.Substituted, agg.Dead, agg.Retained, agg.Lost} {
+				row = append(row, fmt.Sprintf("%d", v))
+			}
+			if !agg.Conserved() {
+				row = append(row, "CONSERVATION VIOLATED")
+			}
+			rows = append(rows, row)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sb.WriteString(renderGrid("Null check fates: "+mx.Name, header, rows))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ProfileTables renders the execution-profile summaries collected under
+// Options.Profile: one grid per matrix with per-cell dynamic totals and the
+// hottest block. Empty when the sweep ran without profiling.
+func (r *Report) ProfileTables() string {
+	var sb strings.Builder
+	header := []string{"config", "workload", "blocks entered", "traps",
+		"explicit", "implicit", "hottest block"}
+	for _, mx := range r.matrices() {
+		m := mx.M
+		var rows [][]string
+		for _, cfg := range m.Configs {
+			for _, w := range m.workloadNames() {
+				c := m.Cell(cfg.Name, w)
+				if !usable(c) || c.Profile == nil {
+					continue
+				}
+				p := c.Profile
+				hot := "-"
+				if len(p.Hot) > 0 {
+					h := p.Hot[0]
+					hot = fmt.Sprintf("%s %s ×%d", h.Method, h.Block, h.Count)
+					if len(h.Checks) > 0 {
+						hot += " [" + strings.Join(h.Checks, ", ") + "]"
+					}
+				}
+				rows = append(rows, []string{cfg.Name, w,
+					fmt.Sprintf("%d", p.BlocksEntered),
+					fmt.Sprintf("%d", p.TrapsTaken),
+					fmt.Sprintf("%d", p.ExplicitChecks),
+					fmt.Sprintf("%d", p.ImplicitSites),
+					hot})
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sb.WriteString(renderGrid("Execution profile: "+mx.Name, header, rows))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

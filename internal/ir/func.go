@@ -85,6 +85,13 @@ type Func struct {
 	ResultKind Kind
 	HasResult  bool
 
+	// Track, when non-nil, observes the fate of every null check the
+	// optimization passes remove from this function. It is attached only for
+	// the duration of an observed compilation (jit.CompileProgramObserved)
+	// and is deliberately not copied by Clone: snapshots replayed by the
+	// triage machinery must not double-report events.
+	Track CheckTracker
+
 	nextBlockID int
 }
 

@@ -1,0 +1,41 @@
+package ir
+
+// CheckTracker observes the fate of null check instructions as optimization
+// passes rewrite a function. The interface lives here — rather than in the
+// observability package that implements it — so that the passes in
+// internal/nullcheck and internal/opt can report events without importing
+// anything above the IR layer.
+//
+// A tracker is attached via Func.Track for the duration of one compilation
+// and is nil otherwise; every call site guards with `if f.Track != nil`, so
+// the disabled case costs one pointer test at each removal site and nothing
+// on the per-instruction paths.
+//
+// Each method reports the terminal event of one check instruction `in`
+// inside block `b`. A given instruction receives at most one fate; the
+// implementation is responsible for detecting violations.
+type CheckTracker interface {
+	// Eliminated reports a check deleted because its target is provably
+	// non-null at the check (forward-analysis redundancy, §4.1.2), or
+	// because an identical in-flight or adjacent check already covers it.
+	Eliminated(in *Instr, b *Block)
+	// Hoisted reports a check deleted by phase 1 whose redundancy proof
+	// depends on the backward-motion insertion points — the check did not
+	// vanish, it moved up to a hoisted insertion (§4.1.1).
+	Hoisted(in *Instr, b *Block)
+	// Sunk reports a check dissolved by phase 2's forward motion and
+	// re-materialized at a later point (possibly in a successor block) as an
+	// explicit check instruction (§4.2.1).
+	Sunk(in *Instr, b *Block)
+	// Converted reports a check absorbed into the trapping dereference `at`:
+	// the access became the implicit exception site and the explicit check
+	// disappeared (§3.3.2 / §4.2.1).
+	Converted(in *Instr, at *Instr, b *Block)
+	// Substituted reports a check deleted by the §4.2.2 substitutable
+	// elimination: a later explicit check or guaranteed trap covers it on
+	// every path.
+	Substituted(in *Instr, b *Block)
+	// Dead reports a check that disappeared together with an unreachable
+	// block.
+	Dead(in *Instr, b *Block)
+}

@@ -3,6 +3,7 @@ package jit
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // PassError is the structured failure of one pipeline pass: either the pass
@@ -25,6 +26,11 @@ type PassError struct {
 	// Err is the verifier (or other structured) failure when the pass
 	// completed but produced invalid IR.
 	Err error
+	// Elapsed is how long the pass ran before failing — how far it got.
+	// Excluded from Error() and Reason() so failure text stays deterministic
+	// (table cells and sweep summaries must not vary run to run); Detail()
+	// reports it.
+	Elapsed time.Duration
 }
 
 func (e *PassError) Error() string {
@@ -51,6 +57,9 @@ func (e *PassError) Reason() string {
 func (e *PassError) Detail() string {
 	var sb strings.Builder
 	sb.WriteString(e.Error())
+	if e.Elapsed > 0 {
+		fmt.Fprintf(&sb, "\npass ran %v before failing", e.Elapsed)
+	}
 	if e.IRDump != "" {
 		sb.WriteString("\n--- IR at failure ---\n")
 		sb.WriteString(e.IRDump)

@@ -13,6 +13,7 @@ import (
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
 	"trapnull/internal/nullcheck"
+	"trapnull/internal/obs"
 	"trapnull/internal/opt"
 )
 
@@ -124,12 +125,20 @@ type Result struct {
 // Result and neither this package nor the passes it drives keep mutable
 // package-level state — the parallel bench harness relies on this.
 func CompileProgram(prog *ir.Program, cfg Config, execModel *arch.Model) (*Result, error) {
+	return CompileProgramObserved(prog, cfg, execModel, nil)
+}
+
+// CompileProgramObserved is CompileProgram with the observability layer
+// attached: pass/function trace spans land in ob.Trace and per-check fate
+// ledgers in ob.Remarks. A nil ob (or nil fields) degrades to the exact
+// unobserved compilation — every hook is behind a nil test.
+func CompileProgramObserved(prog *ir.Program, cfg Config, execModel *arch.Model, ob *Observer) (*Result, error) {
 	res := &Result{Config: cfg}
 	for _, m := range prog.Methods {
 		if m.Fn == nil {
 			continue
 		}
-		if err := compileFunc(m.Fn, cfg, execModel, res); err != nil {
+		if err := compileFunc(m.Fn, cfg, execModel, res, ob); err != nil {
 			return nil, fmt.Errorf("%s: %w", m.QualifiedName(), err)
 		}
 		res.FuncsCompiled++
@@ -145,12 +154,39 @@ func CompileProgram(prog *ir.Program, cfg Config, execModel *arch.Model) (*Resul
 	return res, nil
 }
 
-func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result) error {
+func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result, ob *Observer) error {
 	verify := cfg.Verify || envVerify
+	name := f.Name
+	if f.Method != nil {
+		name = f.Method.QualifiedName()
+	}
+	var ledger *obs.Ledger
+	if ob != nil && ob.Remarks != nil {
+		ledger = ob.Remarks.NewLedger(f, name)
+		f.Track = ledger
+		defer func() { f.Track = nil }()
+	}
+	var fnStart time.Time
+	if ob.tracing() {
+		fnStart = time.Now()
+		defer func() {
+			ob.Trace.Span(ob.TID, "compile", name, fnStart, time.Since(fnStart),
+				map[string]any{"instrs": f.NumInstrs(), "config": cfg.Name})
+		}()
+	}
 	for _, p := range pipeline(cfg, execModel) {
-		if err := runPass(p, f, res, verify, nil); err != nil {
+		if ledger != nil {
+			ledger.BeginPass(p.name)
+		}
+		if err := runPass(p, f, res, verify, nil, ob); err != nil {
 			return err
 		}
+		if ledger != nil {
+			ledger.Sync()
+		}
+	}
+	if ledger != nil {
+		ledger.Finish()
 	}
 	if !verify {
 		// The verified path already checked after every pass, including the

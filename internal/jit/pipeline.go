@@ -139,9 +139,16 @@ func pipeline(cfg Config, execModel *arch.Model) []pass {
 // instead of unwinding the caller, and — when verify is set — the structural
 // verifier runs on the result so a silently-corrupting pass is caught at the
 // boundary it crossed. The observer, if any, sees the function after the
-// pass (and after verification, so it only ever sees verified IR).
-func runPass(p pass, f *ir.Func, res *Result, verify bool, obs PassObserver) (err error) {
+// pass (and after verification, so it only ever sees verified IR). When ob
+// carries a trace, the pass is wrapped in a span recording its wall time, IR
+// size before/after, and — when the verifier ran — the verification time.
+func runPass(p pass, f *ir.Func, res *Result, verify bool, po PassObserver, ob *Observer) (err error) {
 	start := time.Now()
+	tracing := ob.tracing()
+	irBefore := 0
+	if tracing {
+		irBefore = f.NumInstrs()
+	}
 	defer func() {
 		if p.null {
 			res.Times.NullCheckOpt += time.Since(start)
@@ -154,11 +161,12 @@ func runPass(p pass, f *ir.Func, res *Result, verify bool, obs PassObserver) (er
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PassError{
-					Pass:   p.name,
-					Func:   f.Name,
-					IRDump: safeDump(f),
-					Panic:  r,
-					Stack:  debug.Stack(),
+					Pass:    p.name,
+					Func:    f.Name,
+					IRDump:  safeDump(f),
+					Panic:   r,
+					Stack:   debug.Stack(),
+					Elapsed: time.Since(start),
 				}
 			}
 		}()
@@ -168,13 +176,24 @@ func runPass(p pass, f *ir.Func, res *Result, verify bool, obs PassObserver) (er
 		return err
 	}
 
+	var verifyTime time.Duration
 	if verify {
-		if verr := irverify.Func(f); verr != nil {
-			return &PassError{Pass: p.name, Func: f.Name, IRDump: safeDump(f), Err: verr}
+		v0 := time.Now()
+		verr := irverify.Func(f)
+		verifyTime = time.Since(v0)
+		if verr != nil {
+			return &PassError{Pass: p.name, Func: f.Name, IRDump: safeDump(f), Err: verr, Elapsed: time.Since(start)}
 		}
 	}
-	if obs != nil {
-		if oerr := obs(p.name, f); oerr != nil {
+	if tracing {
+		args := map[string]any{"ir_before": irBefore, "ir_after": f.NumInstrs()}
+		if verify {
+			args["verify_us"] = float64(verifyTime) / float64(time.Microsecond)
+		}
+		ob.Trace.Span(ob.TID, "pass", p.name, start, time.Since(start), args)
+	}
+	if po != nil {
+		if oerr := po(p.name, f, time.Since(start)); oerr != nil {
 			return fmt.Errorf("after %s: %w", p.name, oerr)
 		}
 	}

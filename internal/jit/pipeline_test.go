@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
@@ -26,7 +27,7 @@ func TestRunPassContainsPanic(t *testing.T) {
 	res := &Result{}
 	p := pass{name: "exploding", run: func(*ir.Func, *Result) { panic("kaboom") }}
 
-	err := runPass(p, f, res, false, nil)
+	err := runPass(p, f, res, false, nil, nil)
 	var pe *PassError
 	if !errors.As(err, &pe) {
 		t.Fatalf("got %T (%v), want *PassError", err, err)
@@ -62,12 +63,12 @@ func TestRunPassVerifierCatchesCorruption(t *testing.T) {
 		e.Instrs = e.Instrs[:len(e.Instrs)-1]
 	}}
 
-	if err := runPass(corrupt, f, res, false, nil); err != nil {
+	if err := runPass(corrupt, f, res, false, nil, nil); err != nil {
 		t.Fatalf("unverified pipeline should not notice: %v", err)
 	}
 
 	f2 := pipelineTestFunc()
-	err := runPass(corrupt, f2, res, true, nil)
+	err := runPass(corrupt, f2, res, true, nil, nil)
 	var pe *PassError
 	if !errors.As(err, &pe) {
 		t.Fatalf("got %T (%v), want *PassError", err, err)
@@ -109,7 +110,7 @@ func TestObserverSeesEveryPass(t *testing.T) {
 	}
 	var observed []string
 	f := pipelineTestFunc()
-	err := CompileFuncObserved(f, cfg, model, func(pass string, _ *ir.Func) error {
+	err := CompileFuncObserved(f, cfg, model, func(pass string, _ *ir.Func, _ time.Duration) error {
 		observed = append(observed, pass)
 		return nil
 	})

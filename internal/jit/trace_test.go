@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
@@ -13,7 +14,7 @@ func TestObservedPipelineVisitsEveryPass(t *testing.T) {
 	_, fn := sample()
 	var passes []string
 	err := CompileFuncObserved(fn, ConfigPhase1Phase2(), arch.IA32Win(),
-		func(pass string, f *ir.Func) error {
+		func(pass string, f *ir.Func, _ time.Duration) error {
 			passes = append(passes, pass)
 			return nil
 		})
@@ -60,7 +61,7 @@ func TestObserverErrorStopsPipeline(t *testing.T) {
 	_, fn := sample()
 	boom := errors.New("stop here")
 	err := CompileFuncObserved(fn, ConfigPhase1Phase2(), arch.IA32Win(),
-		func(pass string, f *ir.Func) error {
+		func(pass string, f *ir.Func, _ time.Duration) error {
 			if strings.HasPrefix(pass, "phase1") {
 				return boom
 			}

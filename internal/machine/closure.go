@@ -128,8 +128,16 @@ func (m *Machine) execCf(fn *ir.Func, cf *cFunc, args []int64, depth int) (Outco
 	copy(fr.locals, args)
 	fr.depth = depth
 
+	var prof []int64
+	if m.Profile != nil {
+		prof = m.Profile.Counters(fn)
+	}
+
 	blkID := cf.entry
 	for {
+		if prof != nil {
+			prof[blkID]++
+		}
 		cb := &cf.blocks[blkID]
 		st := stNext
 		if sg := &cb.one; sg.charged != nil {

@@ -16,6 +16,7 @@ import (
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
+	"trapnull/internal/obs"
 	"trapnull/internal/rt"
 )
 
@@ -46,6 +47,11 @@ type Machine struct {
 	// engines produce identical Outcome/ExecStats/Cycles, so this only
 	// trades host speed for reference simplicity.
 	Engine Engine
+	// Profile, when non-nil, receives per-block entry counts from both
+	// engines (obs layer; benchtab -profile). Block entries are semantic
+	// facts, so the two engines record identical profiles. Disabled cost:
+	// one nil test per function call and one slice-nil test per block.
+	Profile *obs.ExecProfile
 
 	steps int64
 	// prepared caches per-function pre-decoded instruction tables; entries
@@ -133,8 +139,16 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 		return p.f64
 	}
 
+	var prof []int64
+	if m.Profile != nil {
+		prof = m.Profile.Counters(fn)
+	}
+
 	blk := fn.Entry
 	for {
+		if prof != nil {
+			prof[blk.ID]++
+		}
 		var pending *raise
 		pins := pf.blocks[blk.ID]
 	instrLoop:

@@ -1,0 +1,104 @@
+package machine
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/obs"
+)
+
+// loopFunc builds: sum(n) { s=0; i=0; do { s+=i; i++ } while (i<n); return s }
+func loopFunc() *ir.Func {
+	b := ir.NewFunc("sum", false)
+	n := b.Param("n", ir.KindInt)
+	b.Result(ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	entry := b.Block("entry")
+	body := b.DeclareBlock("body")
+	exit := b.DeclareBlock("exit")
+	b.SetBlock(entry)
+	b.Move(i, ir.ConstInt(0))
+	b.Move(s, ir.ConstInt(0))
+	b.Jump(body)
+	b.SetBlock(body)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(i))
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	return b.Finish()
+}
+
+// profiledRun executes fn(arg) with a fresh profile attached and returns the
+// per-block counters.
+func profiledRun(t *testing.T, e Engine, fn *ir.Func, arg int64) []int64 {
+	t.Helper()
+	p := ir.NewProgram("t")
+	m := New(arch.IA32Win(), p)
+	m.Engine = e
+	prof := obs.NewExecProfile()
+	m.Profile = prof
+	if _, err := m.Call(fn, arg); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	return prof.Counters(fn)
+}
+
+// TestExecProfileCounts pins the block-entry semantics: the loop body is
+// entered once per iteration, entry and exit exactly once.
+func TestExecProfileCounts(t *testing.T) {
+	fn := loopFunc()
+	byName := map[string]int{}
+	for _, b := range fn.Blocks {
+		byName[b.Name] = b.ID
+	}
+	for _, e := range []Engine{EngineClosure, EngineSwitch} {
+		c := profiledRun(t, e, fn, 10)
+		if got := c[byName["entry"]]; got != 1 {
+			t.Errorf("engine %v: entry entered %d times, want 1", e, got)
+		}
+		if got := c[byName["body"]]; got != 10 {
+			t.Errorf("engine %v: body entered %d times, want 10", e, got)
+		}
+		if got := c[byName["exit"]]; got != 1 {
+			t.Errorf("engine %v: exit entered %d times, want 1", e, got)
+		}
+	}
+}
+
+// TestExecProfileEnginesAgree pins that block-entry counts are a semantic
+// observable: the closure compiler and the reference switch interpreter must
+// produce identical counters for every block.
+func TestExecProfileEnginesAgree(t *testing.T) {
+	fn := loopFunc()
+	closure := profiledRun(t, EngineClosure, fn, 37)
+	swi := profiledRun(t, EngineSwitch, fn, 37)
+	if len(closure) != len(swi) {
+		t.Fatalf("counter lengths differ: closure %d, switch %d", len(closure), len(swi))
+	}
+	for id := range closure {
+		if closure[id] != swi[id] {
+			t.Errorf("block %d: closure counted %d, switch %d", id, closure[id], swi[id])
+		}
+	}
+}
+
+// TestExecProfileDisabled pins the zero-cost-off contract at the API level:
+// a machine without a profile runs normally and records nothing.
+func TestExecProfileDisabled(t *testing.T) {
+	fn := loopFunc()
+	p := ir.NewProgram("t")
+	m := New(arch.IA32Win(), p)
+	out, err := m.Call(fn, 5)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if out.Value != 10 {
+		t.Errorf("sum(5) = %d, want 10", out.Value)
+	}
+	if m.Profile != nil {
+		t.Error("machine grew a profile it was never given")
+	}
+}

@@ -59,6 +59,9 @@ func convertToTraps(f *ir.Func, m *arch.Model, meet dataflow.Meet) int {
 			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {
 				b.RemoveInstr(i)
 				removed++
+				if t := f.Track; t != nil {
+					t.Substituted(in, b)
+				}
 				continue
 			}
 			if isBarrier(in, inTry) {

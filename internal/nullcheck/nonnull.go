@@ -94,18 +94,47 @@ func stepNonNull(cur *bitset.Set, in *ir.Instr) {
 // eliminateKnownNonNull removes every null check whose target is proven
 // non-null at the check, using a precomputed non-null analysis. Returns the
 // number of checks removed.
-func eliminateKnownNonNull(f *ir.Func, res *dataflow.Result) int {
+//
+// plain is only consulted when a fate tracker is attached (f.Track != nil):
+// it is the insertion-free non-null analysis over the same function, used to
+// classify each removal. A check the plain analysis already proves redundant
+// is genuinely eliminated; one whose proof needs the phase-1 insertion facts
+// only moved up — its fate is "hoisted". The plain running set steps over
+// removed checks too, mirroring the original function where they still
+// exist. nil plain classifies every removal as eliminated (the Whaley path,
+// whose analysis is the plain one by definition).
+func eliminateKnownNonNull(f *ir.Func, res, plain *dataflow.Result) int {
 	removed := 0
 	cur := bitset.New(f.NumLocals())
+	var curPlain *bitset.Set
+	if f.Track != nil && plain != nil {
+		curPlain = bitset.New(f.NumLocals())
+	}
 	for _, b := range f.Blocks {
 		cur.CopyFrom(res.In(b))
+		if curPlain != nil {
+			curPlain.CopyFrom(plain.In(b))
+		}
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpNullCheck && cur.Has(int(in.NullCheckVar())) {
 				removed++
+				if t := f.Track; t != nil {
+					if curPlain != nil && !curPlain.Has(int(in.NullCheckVar())) {
+						t.Hoisted(in, b)
+					} else {
+						t.Eliminated(in, b)
+					}
+				}
+				if curPlain != nil {
+					stepNonNull(curPlain, in)
+				}
 				continue
 			}
 			stepNonNull(cur, in)
+			if curPlain != nil {
+				stepNonNull(curPlain, in)
+			}
 			kept = append(kept, in)
 		}
 		b.Instrs = kept
@@ -118,6 +147,6 @@ func eliminateKnownNonNull(f *ir.Func, res *dataflow.Result) int {
 // checks, with no motion. It returns the elimination count.
 func Whaley(f *ir.Func) Stats {
 	res := nonNullAnalysis(f, nil)
-	n := eliminateKnownNonNull(f, res)
+	n := eliminateKnownNonNull(f, res, nil)
 	return Stats{Eliminated: n, ExplicitRemaining: f.CountOp(ir.OpNullCheck)}
 }

@@ -62,8 +62,16 @@ func Phase1(f *ir.Func) Stats {
 	// --- §4.1.2: forward non-null analysis assuming the insertions ------
 	fwd := nonNullAnalysis(f, earliest)
 
+	// Fate classification (observability only): the insertion-free analysis
+	// distinguishes "was already redundant" from "moved up to an insertion
+	// point". One extra solve, paid only when a tracker is attached.
+	var plain *dataflow.Result
+	if f.Track != nil {
+		plain = nonNullAnalysis(f, nil)
+	}
+
 	st := Stats{}
-	st.Eliminated = eliminateKnownNonNull(f, fwd)
+	st.Eliminated = eliminateKnownNonNull(f, fwd, plain)
 
 	// --- Prune and materialize insertion points -------------------------
 	// Earliest(n) = Earliest(n) − Out_fwd(n): an insertion is useless where

@@ -55,7 +55,7 @@ func phase2(f *ir.Func, m *arch.Model, unsafeAnyPath bool) Stats {
 
 	st := Stats{}
 	for _, b := range f.Blocks {
-		rewriteBlock(b, m, res, &st, unsafeAnyPath)
+		rewriteBlock(b, m, res, &st, unsafeAnyPath, f.Track)
 	}
 
 	st.Eliminated += peepholeImplicit(f, m)
@@ -120,10 +120,28 @@ func scanForwardMotion(b *ir.Block, size int, blockedBelow *bitset.Set) (gen, ki
 // unsafeAnyPath weakens the block-exit safety test from "every successor
 // expects the moving check" to "some successor expects it" — the planted
 // Phase2UnsafeSubst miscompile.
-func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats, unsafeAnyPath bool) {
+func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats, unsafeAnyPath bool, track ir.CheckTracker) {
 	size := res.In(b).Len()
 	inner := res.In(b).Copy()
 	inTry := b.Try != ir.NoTry
+
+	// carrier (observability only) maps each in-flight bit of inner to the
+	// original check instruction that contributed it in this block, so the
+	// consuming event can report the right fate. Bits flowing in from
+	// predecessors have no carrier here — their originals were fated "sunk"
+	// in their home blocks when they crossed the terminator.
+	var carrier []*ir.Instr
+	if track != nil {
+		carrier = make([]*ir.Instr, size)
+	}
+	sunk := func(v int) {
+		if carrier != nil {
+			if c := carrier[v]; c != nil {
+				track.Sunk(c, b)
+				carrier[v] = nil
+			}
+		}
+	}
 
 	out := make([]*ir.Instr, 0, len(b.Instrs))
 	emitExplicit := func(v int) {
@@ -141,7 +159,17 @@ func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats, u
 		if in.Op == ir.OpNullCheck {
 			// The check joins the moving set; its instruction disappears
 			// and will re-materialize at the latest point.
-			inner.Add(int(in.NullCheckVar()))
+			v := int(in.NullCheckVar())
+			if carrier != nil {
+				if inner.Has(v) {
+					// An in-flight check of the same variable already covers
+					// this one; nothing new joins the moving set.
+					track.Eliminated(in, b)
+				} else {
+					carrier[v] = in
+				}
+			}
+			inner.Add(v)
 			continue
 		}
 		if sa, ok := in.SlotAccessInfo(); ok && inner.Has(int(sa.Base)) {
@@ -151,19 +179,30 @@ func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats, u
 				in.ExcSite = true
 				in.ExcVar = sa.Base
 				st.Implicit++
+				if carrier != nil {
+					if c := carrier[sa.Base]; c != nil {
+						track.Converted(c, in, b)
+						carrier[sa.Base] = nil
+					}
+				}
 			} else {
 				// The access cannot be trusted to trap (big offset, read on
 				// a write-only-trap OS, dynamic array offset): the check
 				// must stay explicit and precede the access.
 				emitExplicit(int(sa.Base))
+				sunk(int(sa.Base))
 			}
 			inner.Remove(int(sa.Base))
 		}
 		if isBarrier(in, inTry) {
-			inner.ForEach(emitExplicit)
+			inner.ForEach(func(v int) {
+				emitExplicit(v)
+				sunk(v)
+			})
 			inner.Clear()
 		} else if v := overwrites(in); v != ir.NoVar && inner.Has(int(v)) {
 			emitExplicit(int(v))
+			sunk(int(v))
 			inner.Remove(int(v))
 		}
 		if in.IsTerminator() {
@@ -194,6 +233,9 @@ func rewriteBlock(b *ir.Block, m *arch.Model, res *dataflow.Result, st *Stats, u
 				if !continues {
 					emitExplicit(v)
 				}
+				// Whether re-emitted here or continuing into the successors'
+				// In sets, the original check moved past its old position.
+				sunk(v)
 			})
 			inner = bitset.New(size)
 		}
@@ -221,6 +263,7 @@ func peepholeImplicit(f *ir.Func, m *arch.Model) int {
 			}
 			v := in.NullCheckVar()
 			consumed := false
+			var trapCarrier *ir.Instr
 		scan:
 			for _, later := range b.Instrs[idx+1:] {
 				if later.Op == ir.OpNullCheck {
@@ -238,6 +281,7 @@ func peepholeImplicit(f *ir.Func, m *arch.Model) int {
 						}
 						if later.ExcVar == v {
 							consumed = true
+							trapCarrier = later
 						}
 					}
 					break scan
@@ -248,6 +292,13 @@ func peepholeImplicit(f *ir.Func, m *arch.Model) int {
 			}
 			if consumed {
 				removed++
+				if t := f.Track; t != nil {
+					if trapCarrier != nil {
+						t.Converted(in, trapCarrier, b)
+					} else {
+						t.Eliminated(in, b)
+					}
+				}
 			} else {
 				kept = append(kept, in)
 			}
@@ -276,6 +327,9 @@ func FoldAdjacentTraps(f *ir.Func, m *arch.Model) int {
 					}
 					if next.ExcVar == sa.Base {
 						folded++
+						if t := f.Track; t != nil {
+							t.Converted(in, next, b)
+						}
 						continue
 					}
 				}

@@ -1,0 +1,501 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"trapnull/internal/ir"
+)
+
+// Fate is the terminal classification of one null check instruction after
+// the pipeline finishes. Every tracked check ends with exactly one fate; the
+// conservation test in internal/obs asserts that the taxonomy is exhaustive
+// for every workload × configuration.
+type Fate uint8
+
+const (
+	// FateNone is the in-flight state: the check still exists and no pass
+	// has decided anything about it yet.
+	FateNone Fate = iota
+	// FateEliminated: deleted as redundant — the target was provably
+	// non-null at the check without help from any insertion point.
+	FateEliminated
+	// FateHoisted: deleted by phase 1, but the redundancy proof needed the
+	// backward-motion insertion points; the check effectively moved up.
+	FateHoisted
+	// FateSunk: dissolved by phase 2's forward motion and re-materialized
+	// at a later point as a fresh explicit check.
+	FateSunk
+	// FateConverted: absorbed into a guaranteed-trapping dereference — the
+	// check became implicit (zero instructions, hardware trap as backstop).
+	FateConverted
+	// FateSubstituted: deleted by the §4.2.2 substitutable elimination — a
+	// later check or guaranteed trap covers it on every path.
+	FateSubstituted
+	// FateDead: vanished together with an unreachable block.
+	FateDead
+	// FateRetained: survived the whole pipeline as an explicit check.
+	FateRetained
+	// FateLost: the check disappeared through an uninstrumented path — a
+	// tracking bug, never a legitimate outcome. Conservation tests assert
+	// zero of these.
+	FateLost
+)
+
+func (f Fate) String() string {
+	switch f {
+	case FateNone:
+		return "in-flight"
+	case FateEliminated:
+		return "eliminated-redundant"
+	case FateHoisted:
+		return "hoisted"
+	case FateSunk:
+		return "sunk"
+	case FateConverted:
+		return "converted-to-implicit"
+	case FateSubstituted:
+		return "removed-substitutable"
+	case FateDead:
+		return "removed-dead"
+	case FateRetained:
+		return "retained-explicit"
+	case FateLost:
+		return "lost"
+	}
+	return fmt.Sprintf("fate(%d)", uint8(f))
+}
+
+// Origin records where a tracked check came from.
+type Origin uint8
+
+const (
+	// OriginSource: present in the source IR before any pass ran.
+	OriginSource Origin = iota
+	// OriginInlined: cloned into the caller by inlining (or synthesized as
+	// an inline guard).
+	OriginInlined
+	// OriginMoved: materialized by a motion pass (phase 1 or phase 2
+	// insertion points).
+	OriginMoved
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginSource:
+		return "source"
+	case OriginInlined:
+		return "inlined"
+	case OriginMoved:
+		return "moved"
+	}
+	return fmt.Sprintf("origin(%d)", uint8(o))
+}
+
+// Anchor names a position in the function: a block plus the rendering of the
+// instruction the event happened at (for FateConverted that is the trapping
+// dereference now carrying the check).
+type Anchor struct {
+	Block string `json:"block"`
+	Instr string `json:"instr,omitempty"`
+}
+
+func (a Anchor) String() string {
+	if a.Instr == "" {
+		return a.Block
+	}
+	return a.Block + " @ " + a.Instr
+}
+
+// Check is the ledger entry of one null check instruction: a stable ID, its
+// origin, and its terminal fate with anchors. IDs are assigned in discovery
+// order (source checks first, in block order), so they are deterministic for
+// a deterministic pipeline.
+type Check struct {
+	ID     int    `json:"id"`
+	Var    string `json:"var"`
+	Origin Origin `json:"-"`
+	// BornPass is the pass that materialized the check ("" for source IR).
+	BornPass string `json:"born_pass,omitempty"`
+	Born     Anchor `json:"born"`
+	Fate     Fate   `json:"-"`
+	// FatePass is the pass that decided the fate ("final" for survivors).
+	FatePass string `json:"fate_pass,omitempty"`
+	At       Anchor `json:"at"`
+
+	in *ir.Instr // identity key; nil-ed when the instruction is gone
+}
+
+// Ledger tracks every null check of one function through the pipeline. It
+// implements ir.CheckTracker; jit attaches it via Func.Track for the
+// duration of one observed compilation. A Ledger is used from a single
+// goroutine (one compilation).
+type Ledger struct {
+	Fn     *ir.Func
+	Method string
+	Checks []*Check
+	// Conflicts counts double-fate reports — like FateLost, a tracking bug.
+	Conflicts int
+
+	byInstr map[*ir.Instr]*Check
+	pass    string
+	seen    map[*ir.Instr]bool
+}
+
+// NewLedger builds a ledger for fn and records every null check already
+// present (the source IR checks).
+func NewLedger(fn *ir.Func, method string) *Ledger {
+	l := &Ledger{
+		Fn:      fn,
+		Method:  method,
+		byInstr: make(map[*ir.Instr]*Check),
+		seen:    make(map[*ir.Instr]bool),
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpNullCheck {
+				l.newCheck(in, OriginSource, "", b)
+			}
+		}
+	}
+	return l
+}
+
+// BeginPass labels subsequent events with the pass name.
+func (l *Ledger) BeginPass(name string) { l.pass = name }
+
+func (l *Ledger) varName(in *ir.Instr) string {
+	v := int(in.NullCheckVar())
+	if v >= 0 && v < len(l.Fn.Locals) && l.Fn.Locals[v].Name != "" {
+		return l.Fn.Locals[v].Name
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+func (l *Ledger) newCheck(in *ir.Instr, o Origin, pass string, b *ir.Block) *Check {
+	c := &Check{
+		ID:       len(l.Checks),
+		Var:      l.varName(in),
+		Origin:   o,
+		BornPass: pass,
+		Born:     Anchor{Block: b.Name},
+		in:       in,
+	}
+	l.Checks = append(l.Checks, c)
+	l.byInstr[in] = c
+	return c
+}
+
+// fate records the terminal event of in. A check materialized and consumed
+// within a single pass (phase 2 emits explicit checks that its own peephole
+// or substitutable stage may immediately delete) has no record yet; it gets
+// one on the fly with OriginMoved so conservation still holds.
+func (l *Ledger) fate(in *ir.Instr, ft Fate, at *ir.Instr, b *ir.Block) {
+	c := l.byInstr[in]
+	if c == nil {
+		c = l.newCheck(in, OriginMoved, l.pass, b)
+	}
+	if c.Fate != FateNone {
+		l.Conflicts++
+		return
+	}
+	c.Fate = ft
+	c.FatePass = l.pass
+	c.At = Anchor{Block: b.Name}
+	if at != nil {
+		c.At.Instr = at.String()
+	}
+	// The byInstr mapping stays until the next Sync so that a second fate
+	// report for the same instruction is caught as a conflict rather than
+	// minting a phantom record.
+}
+
+// ir.CheckTracker implementation.
+
+func (l *Ledger) Eliminated(in *ir.Instr, b *ir.Block) { l.fate(in, FateEliminated, nil, b) }
+func (l *Ledger) Hoisted(in *ir.Instr, b *ir.Block)    { l.fate(in, FateHoisted, nil, b) }
+func (l *Ledger) Sunk(in *ir.Instr, b *ir.Block)       { l.fate(in, FateSunk, nil, b) }
+func (l *Ledger) Converted(in *ir.Instr, at *ir.Instr, b *ir.Block) {
+	l.fate(in, FateConverted, at, b)
+}
+func (l *Ledger) Substituted(in *ir.Instr, b *ir.Block) { l.fate(in, FateSubstituted, nil, b) }
+func (l *Ledger) Dead(in *ir.Instr, b *ir.Block)        { l.fate(in, FateDead, nil, b) }
+
+// Sync walks the function after a pass: checks that appeared without a birth
+// event get records (inline clones callee bodies, motion passes materialize
+// insertion points), and tracked checks that disappeared without a fate
+// event are marked FateLost — the safety net that turns a missed hook into a
+// test failure instead of a silently wrong histogram.
+func (l *Ledger) Sync() {
+	for k := range l.seen {
+		delete(l.seen, k)
+	}
+	for _, b := range l.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpNullCheck {
+				continue
+			}
+			l.seen[in] = true
+			if l.byInstr[in] == nil {
+				o := OriginMoved
+				if strings.HasPrefix(l.pass, "inline") {
+					o = OriginInlined
+				}
+				l.newCheck(in, o, l.pass, b)
+			}
+		}
+	}
+	for in, c := range l.byInstr {
+		if !l.seen[in] {
+			if c.Fate == FateNone {
+				c.Fate = FateLost
+				c.FatePass = l.pass
+			}
+			c.in = nil
+			delete(l.byInstr, in)
+		}
+	}
+}
+
+// Finish marks every surviving check FateRetained with its final position.
+func (l *Ledger) Finish() {
+	for _, b := range l.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpNullCheck {
+				continue
+			}
+			if c := l.byInstr[in]; c != nil && c.Fate == FateNone {
+				c.Fate = FateRetained
+				c.FatePass = "final"
+				c.At = Anchor{Block: b.Name}
+				c.in = nil
+				delete(l.byInstr, in)
+			}
+		}
+	}
+	// Anything still unfated is gone from the IR without a Sync having seen
+	// it leave (can only happen if Finish runs without a final Sync).
+	for in, c := range l.byInstr {
+		if c.Fate == FateNone {
+			c.Fate = FateLost
+			c.FatePass = "final"
+		}
+		delete(l.byInstr, in)
+		c.in = nil
+	}
+}
+
+// FateCounts is the histogram of one or more ledgers. Origins and fates are
+// counted separately; conservation means their totals agree. Fixed struct
+// fields (never a map) keep the JSON rendering deterministic.
+type FateCounts struct {
+	Source  int `json:"source"`
+	Inlined int `json:"inlined"`
+	Moved   int `json:"moved"`
+
+	Eliminated  int `json:"eliminated_redundant"`
+	Hoisted     int `json:"hoisted"`
+	Sunk        int `json:"sunk"`
+	Converted   int `json:"converted_to_implicit"`
+	Substituted int `json:"removed_substitutable"`
+	Dead        int `json:"removed_dead"`
+	Retained    int `json:"retained_explicit"`
+	Lost        int `json:"lost,omitempty"`
+}
+
+// Add accumulates o into c.
+func (c *FateCounts) Add(o FateCounts) {
+	c.Source += o.Source
+	c.Inlined += o.Inlined
+	c.Moved += o.Moved
+	c.Eliminated += o.Eliminated
+	c.Hoisted += o.Hoisted
+	c.Sunk += o.Sunk
+	c.Converted += o.Converted
+	c.Substituted += o.Substituted
+	c.Dead += o.Dead
+	c.Retained += o.Retained
+	c.Lost += o.Lost
+}
+
+// Tracked is the number of checks that entered the ledger.
+func (c FateCounts) Tracked() int { return c.Source + c.Inlined + c.Moved }
+
+// Fated is the number of checks holding a terminal fate.
+func (c FateCounts) Fated() int {
+	return c.Eliminated + c.Hoisted + c.Sunk + c.Converted +
+		c.Substituted + c.Dead + c.Retained + c.Lost
+}
+
+// Conserved reports the ledger invariant: every tracked check has exactly
+// one fate and none of them is FateLost.
+func (c FateCounts) Conserved() bool { return c.Tracked() == c.Fated() && c.Lost == 0 }
+
+// Counts returns the ledger's histogram.
+func (l *Ledger) Counts() FateCounts {
+	var fc FateCounts
+	for _, c := range l.Checks {
+		switch c.Origin {
+		case OriginSource:
+			fc.Source++
+		case OriginInlined:
+			fc.Inlined++
+		case OriginMoved:
+			fc.Moved++
+		}
+		switch c.Fate {
+		case FateEliminated:
+			fc.Eliminated++
+		case FateHoisted:
+			fc.Hoisted++
+		case FateSunk:
+			fc.Sunk++
+		case FateConverted:
+			fc.Converted++
+		case FateSubstituted:
+			fc.Substituted++
+		case FateDead:
+			fc.Dead++
+		case FateRetained:
+			fc.Retained++
+		case FateLost:
+			fc.Lost++
+		}
+	}
+	return fc
+}
+
+// Remarks collects the per-method ledgers of one program compilation.
+type Remarks struct {
+	mu      sync.Mutex
+	ledgers []*Ledger
+}
+
+// NewRemarks returns an empty collection.
+func NewRemarks() *Remarks { return &Remarks{} }
+
+// NewLedger creates, registers and returns the ledger for fn.
+func (r *Remarks) NewLedger(fn *ir.Func, method string) *Ledger {
+	l := NewLedger(fn, method)
+	r.mu.Lock()
+	r.ledgers = append(r.ledgers, l)
+	r.mu.Unlock()
+	return l
+}
+
+// Ledgers returns the registered ledgers in compilation order.
+func (r *Remarks) Ledgers() []*Ledger {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Ledger(nil), r.ledgers...)
+}
+
+// LedgerFor returns the ledger tracking fn, or nil.
+func (r *Remarks) LedgerFor(fn *ir.Func) *Ledger {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.ledgers {
+		if l.Fn == fn {
+			return l
+		}
+	}
+	return nil
+}
+
+// Totals aggregates every ledger's histogram.
+func (r *Remarks) Totals() FateCounts {
+	var fc FateCounts
+	for _, l := range r.Ledgers() {
+		fc.Add(l.Counts())
+	}
+	return fc
+}
+
+// Conflicts sums double-fate reports across ledgers (zero on a healthy
+// pipeline).
+func (r *Remarks) Conflicts() int {
+	n := 0
+	for _, l := range r.Ledgers() {
+		n += l.Conflicts
+	}
+	return n
+}
+
+// ChecksAt returns terminal-fate labels of checks anchored in the named
+// block of fn, in ID order — the hot-block report overlays these onto the
+// execution profile. Matching is by block name: when a pass clones blocks
+// without renaming (e.g. unrolling), every same-named block shares the
+// annotation, which is the right reading for a "what happened to the checks
+// here" overlay.
+func (r *Remarks) ChecksAt(fn *ir.Func, block string) []string {
+	l := r.LedgerFor(fn)
+	if l == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range l.Checks {
+		if c.At.Block == block && c.Fate != FateNone {
+			out = append(out, fmt.Sprintf("#%d %s: %s", c.ID, c.Var, c.Fate))
+		}
+	}
+	return out
+}
+
+// Render writes the human-readable per-method fate ledger (nulljit -remarks).
+func (r *Remarks) Render(sb *strings.Builder) {
+	for _, l := range r.Ledgers() {
+		if len(l.Checks) == 0 {
+			continue
+		}
+		fmt.Fprintf(sb, "%s: %d checks tracked\n", l.Method, len(l.Checks))
+		for _, c := range l.Checks {
+			born := c.Born.Block
+			if c.BornPass != "" {
+				born += " (" + c.BornPass + ", " + c.Origin.String() + ")"
+			}
+			fmt.Fprintf(sb, "  #%-3d nullcheck %-8s %-28s -> %-22s", c.ID, c.Var, born, c.Fate.String())
+			if c.FatePass != "" {
+				fmt.Fprintf(sb, " [%s]", c.FatePass)
+			}
+			if c.At.Block != "" {
+				fmt.Fprintf(sb, " at %s", c.At)
+			}
+			sb.WriteByte('\n')
+		}
+		fc := l.Counts()
+		fmt.Fprintf(sb, "  = %s\n", fc.Summary())
+	}
+	t := r.Totals()
+	fmt.Fprintf(sb, "total: %s\n", t.Summary())
+	if !t.Conserved() || r.Conflicts() > 0 {
+		fmt.Fprintf(sb, "CONSERVATION VIOLATED: tracked=%d fated=%d lost=%d conflicts=%d\n",
+			t.Tracked(), t.Fated(), t.Lost, r.Conflicts())
+	}
+}
+
+// Summary renders the histogram as one line, omitting zero buckets but
+// keeping a fixed bucket order.
+func (c FateCounts) Summary() string {
+	var parts []string
+	add := func(label string, n int) {
+		if n != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", label, n))
+		}
+	}
+	add("source", c.Source)
+	add("inlined", c.Inlined)
+	add("moved", c.Moved)
+	add("eliminated", c.Eliminated)
+	add("hoisted", c.Hoisted)
+	add("sunk", c.Sunk)
+	add("converted", c.Converted)
+	add("substituted", c.Substituted)
+	add("dead", c.Dead)
+	add("retained", c.Retained)
+	add("lost", c.Lost)
+	if len(parts) == 0 {
+		return "no checks"
+	}
+	return strings.Join(parts, " ")
+}

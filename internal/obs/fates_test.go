@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"trapnull/internal/ir"
+)
+
+// checkFunc builds: f(p, q) { nullcheck p; nullcheck q; return 0 } and
+// returns the function plus its two check instructions.
+func checkFunc(t *testing.T) (*ir.Func, *ir.Instr, *ir.Instr) {
+	t.Helper()
+	b := ir.NewFunc("f", false)
+	p := b.Param("p", ir.KindRef)
+	q := b.Param("q", ir.KindRef)
+	b.Result(ir.KindInt)
+	b.Block("entry")
+	c1 := b.NullCheck(p, ir.ReasonField)
+	c2 := b.NullCheck(q, ir.ReasonField)
+	b.Return(ir.ConstInt(0))
+	return b.Finish(), c1, c2
+}
+
+func removeInstr(f *ir.Func, in *ir.Instr) {
+	for _, blk := range f.Blocks {
+		for i, x := range blk.Instrs {
+			if x == in {
+				blk.Instrs = append(blk.Instrs[:i], blk.Instrs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// TestLedgerSourceDiscovery pins that NewLedger records every source check
+// with sequential IDs and OriginSource.
+func TestLedgerSourceDiscovery(t *testing.T) {
+	f, _, _ := checkFunc(t)
+	l := NewLedger(f, "T.f")
+	if len(l.Checks) != 2 {
+		t.Fatalf("discovered %d checks, want 2", len(l.Checks))
+	}
+	for i, c := range l.Checks {
+		if c.ID != i {
+			t.Errorf("check %d has ID %d", i, c.ID)
+		}
+		if c.Origin != OriginSource {
+			t.Errorf("check %d origin %v, want source", i, c.Origin)
+		}
+		if c.Fate != FateNone {
+			t.Errorf("check %d already fated: %v", i, c.Fate)
+		}
+	}
+	fc := l.Counts()
+	if fc.Source != 2 || fc.Fated() != 0 {
+		t.Errorf("counts = %+v, want 2 source, 0 fated", fc)
+	}
+}
+
+// TestLedgerFatesAndConservation walks a full lifecycle: one check
+// eliminated by a pass, the other surviving, and asserts the histogram
+// conserves.
+func TestLedgerFatesAndConservation(t *testing.T) {
+	f, c1, _ := checkFunc(t)
+	l := NewLedger(f, "T.f")
+	l.BeginPass("phase1#0")
+	l.Eliminated(c1, f.Blocks[0])
+	removeInstr(f, c1)
+	l.Sync()
+	l.Finish()
+
+	fc := l.Counts()
+	if fc.Eliminated != 1 || fc.Retained != 1 || fc.Lost != 0 {
+		t.Errorf("counts = %+v, want 1 eliminated, 1 retained, 0 lost", fc)
+	}
+	if !fc.Conserved() {
+		t.Errorf("histogram does not conserve: tracked=%d fated=%d", fc.Tracked(), fc.Fated())
+	}
+	if l.Checks[0].FatePass != "phase1#0" {
+		t.Errorf("fate pass = %q, want phase1#0", l.Checks[0].FatePass)
+	}
+}
+
+// TestLedgerLostDetection pins the safety net: a check that disappears
+// without any tracker hook is classified FateLost, which conservation
+// rejects.
+func TestLedgerLostDetection(t *testing.T) {
+	f, c1, _ := checkFunc(t)
+	l := NewLedger(f, "T.f")
+	l.BeginPass("rogue")
+	removeInstr(f, c1) // no hook fired: an uninstrumented deletion
+	l.Sync()
+	l.Finish()
+
+	fc := l.Counts()
+	if fc.Lost != 1 {
+		t.Fatalf("counts = %+v, want exactly 1 lost", fc)
+	}
+	if fc.Conserved() {
+		t.Error("histogram with a lost check must not conserve")
+	}
+}
+
+// TestLedgerDoubleFateConflict pins that reporting two fates for the same
+// check increments Conflicts instead of silently overwriting.
+func TestLedgerDoubleFateConflict(t *testing.T) {
+	f, c1, _ := checkFunc(t)
+	l := NewLedger(f, "T.f")
+	l.BeginPass("p")
+	l.Eliminated(c1, f.Blocks[0])
+	l.Substituted(c1, f.Blocks[0])
+	if l.Conflicts != 1 {
+		t.Errorf("Conflicts = %d, want 1", l.Conflicts)
+	}
+	if l.Checks[0].Fate != FateEliminated {
+		t.Errorf("first fate overwritten: %v", l.Checks[0].Fate)
+	}
+}
+
+// TestLedgerBornInFlight pins the same-pass birth+death path: fating an
+// instruction the ledger has never seen auto-creates an OriginMoved record
+// (phase 2 emits checks its own peephole may immediately consume).
+func TestLedgerBornInFlight(t *testing.T) {
+	f, _, _ := checkFunc(t)
+	l := NewLedger(f, "T.f")
+	l.BeginPass("nullcheck-phase2")
+	fresh := &ir.Instr{Op: ir.OpNullCheck, Args: []ir.Operand{ir.Var(ir.VarID(0))}}
+	l.Converted(fresh, f.Blocks[0].Instrs[0], f.Blocks[0])
+
+	if len(l.Checks) != 3 {
+		t.Fatalf("ledger has %d checks, want 3 (2 source + 1 in-flight)", len(l.Checks))
+	}
+	c := l.Checks[2]
+	if c.Origin != OriginMoved || c.Fate != FateConverted || c.BornPass != "nullcheck-phase2" {
+		t.Errorf("in-flight record = origin %v fate %v born %q", c.Origin, c.Fate, c.BornPass)
+	}
+}
+
+// TestRemarksRender smoke-tests the human-readable ledger output.
+func TestRemarksRender(t *testing.T) {
+	f, c1, _ := checkFunc(t)
+	r := NewRemarks()
+	l := r.NewLedger(f, "T.f")
+	l.BeginPass("phase1#0")
+	l.Eliminated(c1, f.Blocks[0])
+	removeInstr(f, c1)
+	l.Sync()
+	l.Finish()
+
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T.f", "eliminated-redundant", "retained-explicit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered ledger missing %q:\n%s", want, out)
+		}
+	}
+	if !r.Totals().Conserved() {
+		t.Error("totals do not conserve")
+	}
+}

@@ -1,0 +1,11 @@
+// Package obs is the unified observability layer for the compiler and the
+// simulated machines: pass tracing (Chrome trace-event spans, viewable in
+// Perfetto), null-check fate remarks (a per-check ledger from source IR to
+// terminal fate, in the spirit of LLVM's -Rpass optimization remarks), and
+// execution profiling (per-block entry counters plus trap/check dynamics).
+//
+// Everything here is zero-cost when disabled: the compiler and machines hold
+// nil pointers and guard every hook with a nil test, and an equivalence test
+// in internal/bench pins the quick-sweep artifacts bit-identical with the
+// layer off. See DESIGN.md §9.
+package obs

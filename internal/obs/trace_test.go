@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// traceShape mirrors the Chrome trace-event file format for decoding.
+type traceShape struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int64          `json:"pid"`
+		TID  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestTraceJSONShape pins the serialized form to what Perfetto/chrome://tracing
+// accept: an object with a traceEvents array of "X" complete events carrying
+// microsecond ts/dur, all on the same pid.
+func TestTraceJSONShape(t *testing.T) {
+	tr := NewTrace()
+	tid := tr.NextTID()
+	base := time.Now()
+	tr.Span(tid, "function", "compile Foo.bar", base, 10*time.Millisecond,
+		map[string]any{"instrs": 42})
+	tr.Span(tid, "pass", "nullcheck-phase1", base.Add(time.Millisecond), 2*time.Millisecond, nil)
+
+	data, err := tr.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("emitted trace is not valid JSON:\n%s", data)
+	}
+	var got traceShape
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", got.DisplayTimeUnit)
+	}
+	if len(got.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(got.TraceEvents))
+	}
+	for i, ev := range got.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %d: ph = %q, want \"X\" (complete event)", i, ev.Ph)
+		}
+		if ev.Name == "" || ev.Cat == "" {
+			t.Errorf("event %d: empty name (%q) or cat (%q)", i, ev.Name, ev.Cat)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %d: negative ts/dur (%v/%v)", i, ev.TS, ev.Dur)
+		}
+		if ev.TID != tid {
+			t.Errorf("event %d: tid = %d, want %d", i, ev.TID, tid)
+		}
+	}
+	// Perfetto nests spans by time containment within a (pid, tid) lane: the
+	// pass span must lie inside the function span.
+	fn, pass := got.TraceEvents[0], got.TraceEvents[1]
+	if pass.TS < fn.TS || pass.TS+pass.Dur > fn.TS+fn.Dur {
+		t.Errorf("pass span [%v,%v] not contained in function span [%v,%v]",
+			pass.TS, pass.TS+pass.Dur, fn.TS, fn.TS+fn.Dur)
+	}
+}
+
+// TestTraceEmpty pins that a trace with no spans still serializes to a valid
+// file with an empty (not null) traceEvents array.
+func TestTraceEmpty(t *testing.T) {
+	data, err := NewTrace().JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if string(got["traceEvents"]) != "[]" {
+		t.Errorf("empty trace serializes traceEvents as %s, want []", got["traceEvents"])
+	}
+}
+
+// TestTraceNextTID pins that lanes are distinct and concurrent-safe IDs.
+func TestTraceNextTID(t *testing.T) {
+	tr := NewTrace()
+	a, b := tr.NextTID(), tr.NextTID()
+	if a == b {
+		t.Errorf("NextTID returned %d twice", a)
+	}
+}
+
+// TestTraceWriteFile round-trips a trace through the file API.
+func TestTraceWriteFile(t *testing.T) {
+	tr := NewTrace()
+	tr.Span(tr.NextTID(), "pass", "dce", time.Now(), time.Millisecond, nil)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("file is not valid JSON")
+	}
+}

@@ -78,6 +78,16 @@ func removeUnreachable(f *ir.Func) int {
 			kept = append(kept, b)
 		} else {
 			removed += len(b.Instrs)
+			if t := f.Track; t != nil {
+				// Null checks disappearing with an unreachable block are a
+				// legitimate terminal fate; report them so the ledger's
+				// conservation invariant holds through DCE and SimplifyCFG.
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpNullCheck {
+						t.Dead(in, b)
+					}
+				}
+			}
 		}
 	}
 	f.Blocks = kept

@@ -8,6 +8,7 @@ package randprog
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
@@ -46,7 +47,7 @@ func TestBisectSeed(t *testing.T) {
 			}
 		}
 	}
-	err := jit.CompileFuncObserved(fn, cfg, model, func(pass string, f *ir.Func) error {
+	err := jit.CompileFuncObserved(fn, cfg, model, func(pass string, f *ir.Func, _ time.Duration) error {
 		gotV, gotE, cycles := run(p, f)
 		fmt.Printf("%-16s %d %v cycles=%d\n", pass, gotV, gotE, cycles)
 		if gotV != wantV || gotE != wantE {

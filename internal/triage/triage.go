@@ -20,6 +20,7 @@ package triage
 
 import (
 	"fmt"
+	"time"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
@@ -96,6 +97,19 @@ type Report struct {
 	// compiles it under the same configuration and asserts the baseline
 	// outcome.
 	RegressionTest string
+
+	// PassTimes records how long each pass ran while the bisection timeline
+	// was being recorded (observed recompilation, verifier on), in execution
+	// order up to and including the guilty pass. cmd/triage prints it so a
+	// bisection doubles as a compile-time profile of the failing method.
+	PassTimes []PassTime
+}
+
+// PassTime is one entry of Report.PassTimes.
+type PassTime struct {
+	Method  string
+	Pass    string
+	Elapsed time.Duration
 }
 
 // Run executes the whole pipeline: Check, then on divergence Bisect and
@@ -158,11 +172,13 @@ func interpret(p *ir.Program, entry *ir.Func, m *arch.Model, input int64) (Outco
 	return Outcome{Value: out.Value, Exc: out.Exc}, nil
 }
 
-// snapshot is one timeline entry: method m's body right after pass.
+// snapshot is one timeline entry: method m's body right after pass, plus
+// how long the pass ran.
 type snapshot struct {
-	m    *ir.Method
-	pass string
-	fn   *ir.Func
+	m       *ir.Method
+	pass    string
+	fn      *ir.Func
+	elapsed time.Duration
 }
 
 // bisect finds the first pass after which the program's behaviour on the
@@ -198,8 +214,8 @@ func bisect(c Case, div *Divergence, rep *Report) error {
 	var timeline []snapshot
 	for _, m := range order {
 		m := m
-		err := jit.CompileFuncObserved(m.Fn, c.Config, c.Model, func(pass string, f *ir.Func) error {
-			timeline = append(timeline, snapshot{m: m, pass: pass, fn: f.Clone()})
+		err := jit.CompileFuncObserved(m.Fn, c.Config, c.Model, func(pass string, f *ir.Func, elapsed time.Duration) error {
+			timeline = append(timeline, snapshot{m: m, pass: pass, fn: f.Clone(), elapsed: elapsed})
 			return nil
 		})
 		if err != nil {
@@ -249,6 +265,7 @@ func bisect(c Case, div *Divergence, rep *Report) error {
 
 	for _, s := range timeline {
 		current[s.m] = s.fn
+		rep.PassTimes = append(rep.PassTimes, PassTime{Method: s.m.QualifiedName(), Pass: s.pass, Elapsed: s.elapsed})
 		out, err := eval()
 		if err != nil {
 			return fmt.Errorf("replaying after %s on %s: %w", s.pass, s.m.QualifiedName(), err)
