@@ -40,3 +40,10 @@ go run ./cmd/nulljit -workload Assignment -config full -remarks -profile -trace 
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); evs=d['traceEvents']; assert evs and all(e.get('ph')=='X' for e in evs), 'bad trace events'" "$obs_trace"
 go test -run 'TestObsEquivalence|TestFateConservation' ./internal/bench
 TRAPNULL_ENGINE=switch go test -run TestObsEquivalence ./internal/bench
+# Compile-cache differential gate: the whole bench/jit surface again with the
+# content-addressed compile cache forced off, so the cached fast path (the
+# default) and the always-recompile path cannot drift apart — the cache
+# equivalence tests themselves compare the two directly.
+TRAPNULL_COMPILE_CACHE=off go test ./internal/bench ./internal/jit
+go test -run 'TestCompileCache' ./internal/bench
+go test -run 'TestCache|TestHashProgram|TestProjectConfig|TestParallelCompile' ./internal/jit

@@ -9,6 +9,8 @@
 //	benchtab -quick               # small problem sizes (fast smoke run)
 //	benchtab -reps 9              # compile-time measurement repetitions
 //	benchtab -parallel 8          # sweep cells on 8 workers (0 = GOMAXPROCS)
+//	benchtab -compile-cache=off   # disable the content-addressed compile cache
+//	benchtab -compile-parallel 4  # compile each cell's methods on 4 workers
 //	benchtab -engine switch       # run on the reference switch interpreter
 //	benchtab -trace out.json      # Chrome trace of the sweep (Perfetto-viewable)
 //	benchtab -remarks             # per-config null check fate histograms
@@ -34,8 +36,10 @@ func main() {
 		table      = flag.Int("table", 0, "render one table (1-7)")
 		figure     = flag.Int("figure", 0, "render one figure (8-15)")
 		quick      = flag.Bool("quick", false, "use small problem sizes")
-		reps       = flag.Int("reps", 5, "compile-time measurement repetitions")
+		reps       = flag.Int("reps", 5, "compile-time measurement repetitions (ignored when the compile cache is on)")
 		parallel   = flag.Int("parallel", 0, "concurrent sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		ccache     = flag.String("compile-cache", "auto", "content-addressed compile cache: auto (TRAPNULL_COMPILE_CACHE), on, off")
+		cparallel  = flag.Int("compile-parallel", 0, "per-method compile workers inside each cell (<=1 = serial)")
 		engine     = flag.String("engine", "", "execution engine: closure (default) or switch; both report identical numbers")
 		ablations  = flag.Bool("ablations", false, "run the ablation experiments instead")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
@@ -104,7 +108,21 @@ func main() {
 	// A failing cell does not abort the sweep: RunAll always returns the
 	// full (possibly partial) report. Render it — failed cells appear as
 	// ERROR(<reason>) entries — then report the failures and exit non-zero.
+	var cacheSetting bench.CacheSetting
+	switch *ccache {
+	case "auto":
+		cacheSetting = bench.CacheAuto
+	case "on":
+		cacheSetting = bench.CacheOn
+	case "off":
+		cacheSetting = bench.CacheOff
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: -compile-cache must be auto, on or off (got %q)\n", *ccache)
+		os.Exit(2)
+	}
+
 	opts := bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel,
+		CompileCache: cacheSetting, CompileParallelism: *cparallel,
 		Remarks: *remarks, Profile: *profile}
 	var tr *obs.Trace
 	if *traceOut != "" {

@@ -8,6 +8,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -72,6 +73,9 @@ type Matrix struct {
 	Quick     bool
 	// Cells is indexed [config name][workload name].
 	Cells map[string]map[string]*Cell
+	// CompileCache holds the sweep-scoped compilation cache's traffic
+	// counters; nil when the cache was disabled for this sweep.
+	CompileCache *jit.CacheStats
 }
 
 // Cell returns the measurement for (config, workload).
@@ -96,9 +100,24 @@ type Options struct {
 	// unchanged, so per-phase compile accounting (Tables 3–5) stays valid.
 	Parallelism int
 
+	// CompileCache controls the sweep-scoped content-addressed compilation
+	// cache (internal/jit cache.go). The zero value CacheAuto enables it
+	// unless the TRAPNULL_COMPILE_CACHE environment variable says otherwise.
+	// With the cache on, each cell compiles its program at most once — the
+	// CompileReps best-of-N timing loop is skipped, because a cached Result
+	// replays the stored times anyway — so Tables 3–5 report single-compile
+	// timings; every timing-free artifact is byte-identical either way (the
+	// compiled IR is deterministic, cache or no cache).
+	CompileCache CacheSetting
+	// CompileParallelism is forwarded to jit.CompileOptions.Parallelism:
+	// methods of one program compile on that many workers (≤ 1 = serial).
+	// The artifact is byte-identical at any setting.
+	CompileParallelism int
+
 	// Trace, when non-nil, collects Chrome trace-event spans: one lane per
 	// cell, a cell span wrapping the measured compile and run, pass and
-	// function spans nested inside (benchtab -trace).
+	// function spans nested inside (benchtab -trace). Cache-enabled cells
+	// additionally get a compile_cache span recording hit or miss.
 	Trace *obs.Trace
 	// Remarks attaches a fate ledger to every cell's final compilation and
 	// fills Cell.Fates (benchtab -remarks; JSON check_fates).
@@ -106,6 +125,34 @@ type Options struct {
 	// Profile counts block entries during every cell's run and fills
 	// Cell.Profile (benchtab -profile; JSON profile).
 	Profile bool
+}
+
+// CacheSetting is the tri-state compile-cache switch.
+type CacheSetting uint8
+
+const (
+	// CacheAuto defers to TRAPNULL_COMPILE_CACHE: "off"/"0"/"false" disables
+	// the cache, anything else (including unset) enables it.
+	CacheAuto CacheSetting = iota
+	// CacheOn forces the cache regardless of the environment.
+	CacheOn
+	// CacheOff disables it regardless of the environment.
+	CacheOff
+)
+
+// cacheEnabled resolves the tri-state against the environment.
+func (o Options) cacheEnabled() bool {
+	switch o.CompileCache {
+	case CacheOn:
+		return true
+	case CacheOff:
+		return false
+	}
+	switch strings.ToLower(os.Getenv("TRAPNULL_COMPILE_CACHE")) {
+	case "off", "0", "false":
+		return false
+	}
+	return true
 }
 
 // observed reports whether the final compile rep needs an observer.
@@ -156,6 +203,14 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 		cells[ci] = make([]*Cell, len(ws))
 	}
 
+	// One content-addressed compile cache per sweep: concurrent cells that
+	// need the same (program, projection, model) compilation coalesce onto a
+	// single compile, and triage-style replays of the same sweep would hit.
+	var cache *jit.Cache
+	if opts.cacheEnabled() {
+		cache = jit.NewCache(0)
+	}
+
 	jobs := make(chan job, total)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.workers(total); i++ {
@@ -163,7 +218,7 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				cells[j.ci][j.wi] = runOne(model, configs[j.ci], ws[j.wi], opts)
+				cells[j.ci][j.wi] = runOne(model, configs[j.ci], ws[j.wi], opts, cache)
 			}
 		}()
 	}
@@ -174,6 +229,10 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 	}
 	close(jobs)
 	wg.Wait()
+	if cache != nil {
+		st := cache.Stats()
+		m.CompileCache = &st
+	}
 
 	// Assemble in declaration order, collecting failures in the same order
 	// so the aggregate error is deterministic too.
@@ -210,7 +269,7 @@ func failReason(err error) string {
 // runOne measures one (config, workload) cell. It never fails the sweep: any
 // error — including a panic out of the workload builder, the compiler, or
 // the simulated machine — degrades to an error cell.
-func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options) (cell *Cell) {
+func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options, cache *jit.Cache) (cell *Cell) {
 	errCell := func(reason string) *Cell {
 		return &Cell{Workload: w.Name, Config: cfg.Name, Err: reason}
 	}
@@ -226,6 +285,9 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 	}
 
 	cellName := cfg.Name + "/" + w.Name
+	if cache != nil {
+		return runOneCached(model, cfg, w, opts, cache, n, cellName, errCell)
+	}
 
 	// Compile: repeat for timing stability, keeping the fastest rep (the
 	// one least disturbed by the host). The final rep's program is run, and
@@ -257,9 +319,11 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 				rem = obs.NewRemarks()
 				ob.Remarks = rem
 			}
-			res, err = jit.CompileProgramObserved(p, cfg, model, ob)
+			res, err = jit.CompileProgramWith(p, cfg, model,
+				jit.CompileOptions{Observer: ob, Parallelism: opts.CompileParallelism})
 		} else {
-			res, err = jit.CompileProgram(p, cfg, model)
+			res, err = jit.CompileProgramWith(p, cfg, model,
+				jit.CompileOptions{Parallelism: opts.CompileParallelism})
 		}
 		if err != nil {
 			return errCell(failReason(err))
@@ -315,6 +379,113 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 	if prof != nil {
 		cell.Profile = prof.Summary(hotBlockTopN, rem,
 			finalProg.Stats.TrapsTaken, finalProg.Stats.ExplicitChecks, finalProg.Stats.ImplicitSites)
+	}
+	return cell
+}
+
+// runOneCached is runOne's compile path when the sweep carries a compile
+// cache: build the program once, address the compilation by content, and
+// reuse the stored artifact on a hit. The CompileReps loop is skipped — a
+// cached Result replays the stored timings, so best-of-N has nothing to
+// average — and per-cell statistics (Fates, Static, compile times) are
+// RE-DERIVED from the shared immutable entry rather than accumulated into
+// it, so two cells hitting one entry never double-count.
+func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options,
+	cache *jit.Cache, n int64, cellName string, errCell func(string) *Cell) *Cell {
+	p, entryM := w.Build()
+
+	var tid int64
+	var cellStart time.Time
+	if opts.Trace != nil {
+		tid = opts.Trace.NextTID()
+		cellStart = time.Now()
+	}
+
+	key := jit.Key(p, cfg, model)
+	entry, hit, err := cache.GetOrCompile(key, opts.Remarks, func() (*jit.CacheEntry, error) {
+		var rem *obs.Remarks
+		var ob *jit.Observer
+		if opts.observed() {
+			ob = &jit.Observer{}
+			if opts.Trace != nil {
+				ob.Trace = opts.Trace
+				ob.TID = tid
+			}
+			if opts.Remarks {
+				rem = obs.NewRemarks()
+				ob.Remarks = rem
+			}
+		}
+		res, cerr := jit.CompileProgramWith(p, cfg, model,
+			jit.CompileOptions{Observer: ob, Parallelism: opts.CompileParallelism})
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &jit.CacheEntry{Program: p, Result: res, Remarks: rem}, nil
+	})
+	if opts.Trace != nil {
+		opts.Trace.Span(tid, "compile_cache", cellName, cellStart, time.Since(cellStart),
+			map[string]any{"hit": hit})
+	}
+	if err != nil {
+		return errCell(failReason(err))
+	}
+
+	// On a hit the entry's program is NOT the one we just built; resolve our
+	// entry method into the cached program by qualified name. The cached IR
+	// is shared between cells and execution never mutates it (machines decode
+	// into their own tables).
+	prog := entry.Program
+	em := prog.MethodByName(entryM.QualifiedName())
+	if em == nil || em.Fn == nil {
+		return errCell("cached program lacks entry method " + entryM.QualifiedName())
+	}
+
+	mach := machine.New(model, prog)
+	var prof *obs.ExecProfile
+	if opts.Profile {
+		prof = obs.NewExecProfile()
+		mach.Profile = prof
+	}
+	var execStart time.Time
+	if opts.Trace != nil {
+		execStart = time.Now()
+	}
+	out, err := mach.Call(em.Fn, n)
+	if opts.Trace != nil {
+		now := time.Now()
+		opts.Trace.Span(tid, "exec", "run "+cellName, execStart, now.Sub(execStart),
+			map[string]any{"cycles": mach.Cycles, "instrs": mach.Stats.Instrs})
+		opts.Trace.Span(tid, "cell", cellName, cellStart, now.Sub(cellStart), nil)
+	}
+	if err != nil {
+		return errCell(failReason(err))
+	}
+	if out.Exc != rt.ExcNone {
+		return errCell(fmt.Sprintf("unexpected exception %v", out.Exc))
+	}
+	if want := w.Ref(n); out.Value != want {
+		return errCell(fmt.Sprintf("checksum mismatch: got %d, want %d", out.Value, want))
+	}
+
+	cell := &Cell{
+		Workload:     w.Name,
+		Config:       cfg.Name,
+		Cycles:       mach.Cycles,
+		SimSeconds:   float64(mach.Cycles) / float64(model.ClockHz),
+		CompileNull:  entry.Result.Times.NullCheckOpt,
+		CompileOther: entry.Result.Times.Other,
+		Exec:         mach.Stats,
+		Static:       *entry.Result,
+	}
+	if opts.Remarks && entry.Remarks != nil {
+		fc := entry.Remarks.Totals()
+		cell.Fates = &fc
+		cell.remarks = entry.Remarks
+	}
+	if prof != nil {
+		cell.Profile = prof.Summary(hotBlockTopN, entry.Remarks,
+			mach.Stats.TrapsTaken, mach.Stats.ExplicitChecks, mach.Stats.ImplicitSites)
 	}
 	return cell
 }

@@ -37,9 +37,23 @@ type jsonCell struct {
 	Error string `json:"error,omitempty"`
 }
 
+// jsonCacheStats is the export shape of one matrix's compile-cache traffic.
+// Fixed field order keeps marshals of the same report byte-identical.
+type jsonCacheStats struct {
+	Matrix    string `json:"matrix"`
+	Lookups   int64  `json:"lookups"`
+	Hits      int64  `json:"hits"`
+	Misses    int64  `json:"misses"`
+	Evictions int64  `json:"evictions"`
+}
+
 // jsonReport is the export shape of a full run.
 type jsonReport struct {
-	GeneratedBy string                `json:"generated_by"`
+	GeneratedBy string `json:"generated_by"`
+	// CompileCache lists per-matrix cache traffic in matrix order; omitted
+	// entirely when the cache is off, so cache-off JSON is byte-identical to
+	// the pre-cache shape.
+	CompileCache []jsonCacheStats      `json:"compile_cache,omitempty"`
 	Matrices    map[string][]jsonCell `json:"matrices"`
 }
 
@@ -51,6 +65,16 @@ func (r *Report) JSON() ([]byte, error) {
 		Matrices:    map[string][]jsonCell{},
 	}
 	add := func(name string, m *Matrix) {
+		if m.CompileCache != nil {
+			st := *m.CompileCache
+			out.CompileCache = append(out.CompileCache, jsonCacheStats{
+				Matrix:    name,
+				Lookups:   st.Lookups,
+				Hits:      st.Hits,
+				Misses:    st.Misses,
+				Evictions: st.Evictions,
+			})
+		}
 		var cells []jsonCell
 		for _, cfg := range m.Configs {
 			for _, w := range m.Workloads {

@@ -1,0 +1,129 @@
+package ir
+
+import "testing"
+
+// TestArenaPointerStability: pointers handed out stay valid and distinct as
+// the arena grows through multiple chunks. Instruction identity is load-
+// bearing everywhere (tracker keys, prepared caches), so slab growth must
+// never move an already-issued Instr.
+func TestArenaPointerStability(t *testing.T) {
+	a := NewArena()
+	const n = arenaMaxChunk*2 + 17 // forces several chunk transitions
+	ptrs := make([]*Instr, n)
+	for i := 0; i < n; i++ {
+		ptrs[i] = a.NewInstr(Instr{Op: OpMove, Dst: VarID(i)})
+	}
+	seen := make(map[*Instr]bool, n)
+	for i, p := range ptrs {
+		if seen[p] {
+			t.Fatalf("instr %d aliases an earlier allocation", i)
+		}
+		seen[p] = true
+		if p.Dst != VarID(i) {
+			t.Fatalf("instr %d: Dst = %d, want %d (later allocations overwrote it)", i, p.Dst, i)
+		}
+	}
+	if got := a.InstrsAllocated(); got != n {
+		t.Fatalf("InstrsAllocated = %d, want %d", got, n)
+	}
+}
+
+// TestArenaOperandAppendDoesNotClobber: operand slices are full-capacity
+// sliced, so appending to one reallocates instead of overwriting the next
+// instruction's operands in the same chunk.
+func TestArenaOperandAppendDoesNotClobber(t *testing.T) {
+	a := NewArena()
+	first := a.Operands(Var(1), Var(2))
+	second := a.Operands(Var(3), Var(4))
+	_ = append(first, ConstInt(99))
+	if second[0] != Var(3) || second[1] != Var(4) {
+		t.Fatalf("append to a neighbouring operand slice clobbered later operands: %v", second)
+	}
+	if cap(first) != len(first) {
+		t.Fatalf("arena operand slice has spare capacity %d > len %d; appends would alias the slab", cap(first), len(first))
+	}
+}
+
+// TestArenaReset: after Reset the recycled memory is zeroed, the arena
+// reuses its largest chunk, and new allocations start fresh.
+func TestArenaReset(t *testing.T) {
+	a := NewArena()
+	blk := a.NewBlock(Block{ID: 7, Name: "x"})
+	in := a.NewInstr(Instr{Op: OpJump, Targets: []*Block{blk}})
+	ops := a.Operands(Var(5))
+	a.Reset()
+	if in.Op != OpInvalid || in.Targets != nil {
+		t.Fatalf("Reset left stale instruction contents: %+v", *in)
+	}
+	if blk.ID != 0 || blk.Name != "" {
+		t.Fatalf("Reset left stale block contents: %+v", *blk)
+	}
+	if ops[0] != (Operand{}) {
+		t.Fatalf("Reset left stale operand contents: %+v", ops[0])
+	}
+	// A new generation reuses the same slab memory (chunk 0 is recycled).
+	in2 := a.NewInstr(Instr{Op: OpMove})
+	if in2 != in {
+		t.Fatalf("first post-Reset allocation did not reuse the recycled chunk")
+	}
+	if got := a.InstrsAllocated(); got != 1 {
+		t.Fatalf("InstrsAllocated after Reset = %d, want 1", got)
+	}
+}
+
+// TestArenaResetKeepsLargestChunk: memory is bounded at the high-water chunk
+// rather than the sum of all chunks ever allocated.
+func TestArenaResetKeepsLargestChunk(t *testing.T) {
+	a := NewArena()
+	for i := 0; i < arenaFirstChunk*10; i++ {
+		a.NewInstr(Instr{Op: OpMove})
+	}
+	before := len(a.instrs)
+	if before < 2 {
+		t.Fatalf("test needs multiple chunks, got %d", before)
+	}
+	last := a.instrs[before-1]
+	a.Reset()
+	if len(a.instrs) != 1 {
+		t.Fatalf("Reset kept %d chunks, want 1", len(a.instrs))
+	}
+	if &a.instrs[0][0] != &last[0] {
+		t.Fatalf("Reset kept a chunk other than the largest")
+	}
+}
+
+// TestArenaNilFallback: all methods degrade to plain heap allocation on a
+// nil receiver, so arena-free code paths keep their old behaviour.
+func TestArenaNilFallback(t *testing.T) {
+	var a *Arena
+	in := a.NewInstr(Instr{Op: OpMove, Dst: 3})
+	if in == nil || in.Dst != 3 {
+		t.Fatalf("nil-arena NewInstr returned %+v", in)
+	}
+	if b := a.NewBlock(Block{ID: 9}); b == nil || b.ID != 9 {
+		t.Fatalf("nil-arena NewBlock returned %+v", b)
+	}
+	if ops := a.Operands(Var(1)); len(ops) != 1 || ops[0] != Var(1) {
+		t.Fatalf("nil-arena Operands returned %v", ops)
+	}
+	a.Reset() // must not panic
+	if got := a.InstrsAllocated(); got != 0 {
+		t.Fatalf("nil-arena InstrsAllocated = %d", got)
+	}
+}
+
+// TestCloneIntoIndependence: CloneInto copies operands into the target arena
+// and mutating the clone leaves the original untouched.
+func TestCloneIntoIndependence(t *testing.T) {
+	orig := &Instr{Op: OpAdd, Dst: 1, Args: []Operand{Var(2), Var(3)}}
+	a := NewArena()
+	cp := orig.CloneInto(a)
+	cp.Args[0] = ConstInt(42)
+	cp.Dst = 9
+	if orig.Args[0] != Var(2) || orig.Dst != 1 {
+		t.Fatalf("mutating a CloneInto copy changed the original: %+v", *orig)
+	}
+	if got := a.InstrsAllocated(); got != 1 {
+		t.Fatalf("CloneInto allocated %d arena instrs, want 1", got)
+	}
+}

@@ -118,6 +118,19 @@ type Result struct {
 	FuncsCompiled int
 }
 
+// CompileOptions tunes one CompileProgramWith call beyond the Config itself.
+type CompileOptions struct {
+	// Observer attaches the observability layer (trace spans, fate ledgers).
+	// Nil (or nil fields) degrades to the exact unobserved compilation.
+	Observer *Observer
+	// Parallelism caps how many independent methods compile concurrently;
+	// values ≤ 1 compile serially in method order. Methods related by the
+	// pristine call graph are still ordered exactly as the serial loop would
+	// order them, so the compiled artifact is byte-identical at any setting
+	// (see parallel.go for the safety argument and DESIGN.md §10).
+	Parallelism int
+}
+
 // CompileProgram optimizes every method body of prog (in place) under cfg
 // for execution on execModel. Workload constructors build a fresh program
 // per compilation, so in-place rewriting is safe. Calls on distinct programs
@@ -125,44 +138,68 @@ type Result struct {
 // Result and neither this package nor the passes it drives keep mutable
 // package-level state — the parallel bench harness relies on this.
 func CompileProgram(prog *ir.Program, cfg Config, execModel *arch.Model) (*Result, error) {
-	return CompileProgramObserved(prog, cfg, execModel, nil)
+	return CompileProgramWith(prog, cfg, execModel, CompileOptions{})
 }
 
 // CompileProgramObserved is CompileProgram with the observability layer
 // attached: pass/function trace spans land in ob.Trace and per-check fate
-// ledgers in ob.Remarks. A nil ob (or nil fields) degrades to the exact
-// unobserved compilation — every hook is behind a nil test.
+// ledgers in ob.Remarks.
 func CompileProgramObserved(prog *ir.Program, cfg Config, execModel *arch.Model, ob *Observer) (*Result, error) {
+	return CompileProgramWith(prog, cfg, execModel, CompileOptions{Observer: ob})
+}
+
+// CompileProgramWith is the full-control entry point behind CompileProgram
+// and CompileProgramObserved.
+func CompileProgramWith(prog *ir.Program, cfg Config, execModel *arch.Model, opts CompileOptions) (*Result, error) {
+	if opts.Parallelism > 1 {
+		return compileParallel(prog, cfg, execModel, opts)
+	}
 	res := &Result{Config: cfg}
+	ob := opts.Observer
 	for _, m := range prog.Methods {
 		if m.Fn == nil {
 			continue
 		}
-		if err := compileFunc(m.Fn, cfg, execModel, res, ob); err != nil {
+		if err := compileFunc(m.Fn, cfg, execModel, res, ob, newLedgerFor(ob, m)); err != nil {
 			return nil, fmt.Errorf("%s: %w", m.QualifiedName(), err)
 		}
 		res.FuncsCompiled++
 	}
-	// Recompute the surviving static check count from the final bodies (the
-	// per-pass values accumulated by Add double-count across iterations).
+	finishProgramStats(prog, res)
+	return res, nil
+}
+
+// newLedgerFor registers a fate ledger for m's body, or nil when unobserved.
+func newLedgerFor(ob *Observer, m *ir.Method) *obs.Ledger {
+	if ob == nil || ob.Remarks == nil {
+		return nil
+	}
+	return ob.Remarks.NewLedger(m.Fn, m.QualifiedName())
+}
+
+// finishProgramStats recomputes the surviving static check count from the
+// final bodies (the per-pass values accumulated by Add double-count across
+// iterations).
+func finishProgramStats(prog *ir.Program, res *Result) {
 	res.Checks.ExplicitRemaining = 0
 	for _, m := range prog.Methods {
 		if m.Fn != nil {
 			res.Checks.ExplicitRemaining += m.Fn.CountOp(ir.OpNullCheck)
 		}
 	}
-	return res, nil
 }
 
-func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result, ob *Observer) error {
+// compileFunc runs the cfg pipeline on one function body. ledger, when
+// non-nil, was pre-registered by the caller (parallel compilation creates
+// every ledger up front, in method order, so ledger order never depends on
+// worker interleaving).
+func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result, ob *Observer, ledger *obs.Ledger) error {
 	verify := cfg.Verify || envVerify
 	name := f.Name
 	if f.Method != nil {
 		name = f.Method.QualifiedName()
 	}
-	var ledger *obs.Ledger
-	if ob != nil && ob.Remarks != nil {
-		ledger = ob.Remarks.NewLedger(f, name)
+	if ledger != nil {
 		f.Track = ledger
 		defer func() { f.Track = nil }()
 	}

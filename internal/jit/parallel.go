@@ -1,0 +1,160 @@
+package jit
+
+import (
+	"fmt"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/obs"
+)
+
+// Parallel per-method compilation.
+//
+// Safety argument (DESIGN.md §10 carries the prose version):
+//
+// Compiling method M mutates exactly one thing — M's own body — and reads,
+// besides program-level metadata that no pass mutates (class layouts, method
+// signatures, virtual slots), the bodies of the methods M may inline. The
+// inliner resolves call sites through in.Callee only (devirtualization fills
+// in.Callee on M's OWN call instructions before inlining consults it; it
+// never redirects a site to a method not already reachable through Callee
+// edges), so the methods whose bodies M can ever read are exactly the
+// transitive Callee closure of M's pristine body: inlining copies callee
+// call sites into M, and those copies are by construction inside the
+// transitive closure.
+//
+// The serial loop compiles methods in program order, so for an ordered pair
+// i < j it establishes two reader/writer facts: (a) j reads i's body only
+// AFTER i finished optimizing it, and (b) i reads j's body BEFORE j touched
+// it. Parallel compilation preserves the artifact byte-for-byte by keeping
+// exactly those edges: method j waits for every i < j with i ∈ closure(j)
+// (fact a — j must see i's final body) or j ∈ closure(i) (fact b — j must
+// not start rewriting its body while i may still be reading the pristine
+// version). Methods unrelated by either closure share no mutable state and
+// commute freely. Every dependency points at a smaller index, so the wait
+// graph is acyclic and the scheduler cannot deadlock.
+//
+// Bounded workers: each method's goroutine first waits for its dependencies
+// and only then acquires a semaphore slot for the actual compilation, so a
+// blocked method never occupies a slot a dependency needs.
+//
+// Everything else the workers share is concurrency-safe by construction:
+// per-method statistics go into per-method Results merged in program order
+// afterwards, fate ledgers are pre-registered in program order (obs.Remarks
+// is mutex-guarded, each Ledger is then touched by one worker only), trace
+// spans go to the mutex-guarded obs.Trace on per-worker lanes, and
+// CheckTracker hooks run through Func.Track, which is per-function state.
+func compileParallel(prog *ir.Program, cfg Config, execModel *arch.Model, opts CompileOptions) (*Result, error) {
+	ob := opts.Observer
+	type unit struct {
+		m      *ir.Method
+		ledger *obs.Ledger
+		res    Result
+		err    error
+		done   chan struct{}
+	}
+	var units []*unit
+	index := make(map[*ir.Method]int)
+	for _, m := range prog.Methods {
+		if m.Fn == nil {
+			continue
+		}
+		index[m] = len(units)
+		units = append(units, &unit{m: m, done: make(chan struct{})})
+	}
+	// Ledger registration order must match the serial loop exactly; register
+	// everything up front, before any worker can race for the slot. (The
+	// serial loop registers each ledger immediately before compiling the
+	// method, but since compilation never mutates OTHER bodies, the pristine
+	// snapshot a ledger takes is the same either way.)
+	for _, u := range units {
+		u.ledger = newLedgerFor(ob, u.m)
+	}
+
+	// Pristine transitive Callee closures, computed before any body changes.
+	closures := make([][]bool, len(units))
+	for j, u := range units {
+		closures[j] = calleeClosure(u.m, index, len(units))
+	}
+	deps := make([][]int, len(units))
+	for j := range units {
+		for i := 0; i < j; i++ {
+			if closures[j][i] || closures[i][j] {
+				deps[j] = append(deps[j], i)
+			}
+		}
+	}
+
+	sem := make(chan struct{}, opts.Parallelism)
+	for j, u := range units {
+		go func(j int, u *unit) {
+			defer close(u.done)
+			for _, i := range deps[j] {
+				<-units[i].done
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			wob := ob
+			if ob.tracing() {
+				w := *ob
+				w.TID = ob.Trace.NextTID()
+				wob = &w
+			}
+			u.res.Config = cfg
+			u.err = compileFunc(u.m.Fn, cfg, execModel, &u.res, wob, u.ledger)
+		}(j, u)
+	}
+	for _, u := range units {
+		<-u.done
+	}
+
+	// Merge in program order; on error report the lowest-index failure (the
+	// one the serial loop would have hit first). Note a failed parallel run
+	// may have compiled methods the serial loop never reached — irrelevant,
+	// because an errored program is never executed.
+	res := &Result{Config: cfg}
+	for _, u := range units {
+		if u.err != nil {
+			return nil, fmt.Errorf("%s: %w", u.m.QualifiedName(), u.err)
+		}
+		res.Times.Add(u.res.Times)
+		res.Checks.Add(u.res.Checks)
+		res.Inline.Add(u.res.Inline)
+		res.Scalar.Add(u.res.Scalar)
+		res.BoundChecksRemoved += u.res.BoundChecksRemoved
+		res.FuncsCompiled++
+	}
+	finishProgramStats(prog, res)
+	return res, nil
+}
+
+// calleeClosure returns, as a dense bit set over unit indices, every method
+// transitively reachable from m's pristine body through Callee edges
+// (excluding m itself unless it is self-recursive).
+func calleeClosure(m *ir.Method, index map[*ir.Method]int, n int) []bool {
+	reach := make([]bool, n)
+	var work []*ir.Method
+	push := func(callee *ir.Method) {
+		if callee == nil {
+			return
+		}
+		if i, ok := index[callee]; ok && !reach[i] {
+			reach[i] = true
+			work = append(work, callee)
+		}
+	}
+	scan := func(fn *ir.Func) {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				push(in.Callee)
+			}
+		}
+	}
+	scan(m.Fn)
+	for len(work) > 0 {
+		next := work[len(work)-1]
+		work = work[:len(work)-1]
+		scan(next.Fn)
+	}
+	return reach
+}

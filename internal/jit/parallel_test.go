@@ -1,0 +1,139 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/machine"
+	"trapnull/internal/obs"
+	"trapnull/internal/workloads"
+)
+
+// disasm renders every method body, in program order.
+func disasm(p *ir.Program) string {
+	var sb strings.Builder
+	for _, m := range p.Methods {
+		if m.Fn == nil {
+			continue
+		}
+		sb.WriteString(m.QualifiedName())
+		sb.WriteString(":\n")
+		sb.WriteString(m.Fn.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func renderRemarks(r *obs.Remarks) string {
+	var sb strings.Builder
+	r.Render(&sb)
+	return sb.String()
+}
+
+// TestParallelCompileMatchesSerial is the parallel-compilation determinism
+// gate: for every workload under every configuration of both sweeps, the
+// parallel compiler must produce byte-identical disassembly, an identical
+// fate ledger, and identical non-time statistics — any worker interleaving
+// effect is a bug (see parallel.go's safety argument).
+func TestParallelCompileMatchesSerial(t *testing.T) {
+	type matrix struct {
+		configs []Config
+		model   *arch.Model
+	}
+	matrices := []matrix{
+		{WindowsConfigs(), arch.IA32Win()},
+		{AIXConfigs(), arch.PPCAIX()},
+	}
+	for _, w := range workloads.All() {
+		for _, mx := range matrices {
+			for _, cfg := range mx.configs {
+				serialP, _ := w.Build()
+				serialOb := &Observer{Remarks: obs.NewRemarks()}
+				serialRes, err := CompileProgramWith(serialP, cfg, mx.model, CompileOptions{Observer: serialOb})
+				if err != nil {
+					t.Fatalf("%s/%s serial: %v", w.Name, cfg.Name, err)
+				}
+
+				parP, _ := w.Build()
+				parOb := &Observer{Remarks: obs.NewRemarks()}
+				parRes, err := CompileProgramWith(parP, cfg, mx.model,
+					CompileOptions{Observer: parOb, Parallelism: 4})
+				if err != nil {
+					t.Fatalf("%s/%s parallel: %v", w.Name, cfg.Name, err)
+				}
+
+				if s, p := disasm(serialP), disasm(parP); s != p {
+					t.Fatalf("%s/%s: parallel disassembly diverges from serial", w.Name, cfg.Name)
+				}
+				if s, p := renderRemarks(serialOb.Remarks), renderRemarks(parOb.Remarks); s != p {
+					t.Fatalf("%s/%s: fate ledgers diverge:\nserial:\n%s\nparallel:\n%s",
+						w.Name, cfg.Name, s, p)
+				}
+				ss, ps := *serialRes, *parRes
+				ss.Times, ps.Times = Times{}, Times{}
+				if ss != ps {
+					t.Fatalf("%s/%s: results diverge:\nserial:   %+v\nparallel: %+v",
+						w.Name, cfg.Name, ss, ps)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCompileRunsCorrectCode executes a parallel-compiled program to
+// the reference checksum — the end-to-end backstop behind the byte-equality
+// test above.
+func TestParallelCompileRunsCorrectCode(t *testing.T) {
+	for _, w := range workloads.All() {
+		p, entryM := w.Build()
+		if _, err := CompileProgramWith(p, ConfigPhase1Phase2(), arch.IA32Win(),
+			CompileOptions{Parallelism: 4}); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		m := machine.New(arch.IA32Win(), p)
+		out, err := m.Call(entryM.Fn, w.TestN)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if want := w.Ref(w.TestN); out.Value != want {
+			t.Fatalf("%s: checksum %d, want %d", w.Name, out.Value, want)
+		}
+	}
+}
+
+// TestParallelCompileErrorMatchesSerial: a failing compilation reports the
+// same method (the lowest-index failure) regardless of parallelism.
+func TestParallelCompileErrorMatchesSerial(t *testing.T) {
+	cfg := ConfigPhase1Phase2()
+	cfg.Verify = true
+	cfg.SkipGuardCheck = false
+	// Build a program whose LAST method fails the guard checker: a raw-Emit
+	// field read with no null check anywhere is an unguarded dereference,
+	// which checkGuardsContained rejects deterministically.
+	build := func() *ir.Program {
+		p, _ := sample()
+		bb := ir.NewFunc("bad", false)
+		o := bb.Param("o", ir.KindRef)
+		bb.Result(ir.KindInt)
+		bb.Block("entry")
+		v := bb.Temp(ir.KindInt)
+		big := &ir.Field{Name: "big", Kind: ir.KindInt, Offset: 1 << 20}
+		bb.Emit(&ir.Instr{Op: ir.OpGetField, Dst: v, Field: big, Args: []ir.Operand{ir.Var(o)}})
+		bb.Return(ir.Var(v))
+		p.AddMethod(nil, "bad", bb.Finish(), false)
+		return p
+	}
+	_, serialErr := CompileProgram(build(), cfg, arch.IA32Win())
+	if serialErr == nil {
+		t.Fatal("expected the forged program to fail serial compilation")
+	}
+	_, parErr := CompileProgramWith(build(), cfg, arch.IA32Win(), CompileOptions{Parallelism: 4})
+	if parErr == nil {
+		t.Fatal("expected the forged program to fail parallel compilation")
+	}
+	if serialErr.Error() != parErr.Error() {
+		t.Fatalf("error diverges:\nserial:   %v\nparallel: %v", serialErr, parErr)
+	}
+}

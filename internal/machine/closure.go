@@ -342,7 +342,10 @@ func (m *Machine) framePut(fr *frame) {
 // compiled returns fn's closure-compiled form, building and caching it on
 // first use. The cache shares prepare()'s pointer-identity keying and bound.
 func (m *Machine) compiled(fn *ir.Func) *cFunc {
-	if cf, ok := m.compiledFns[fn]; ok {
+	if m.compiledFns == nil {
+		m.compiledFns = newFnCache[*cFunc](maxPreparedFuncs)
+	}
+	if cf, ok := m.compiledFns.get(fn); ok {
 		return cf
 	}
 	pf := m.prepare(fn)
@@ -394,13 +397,7 @@ func (m *Machine) compiled(fn *ir.Func) *cFunc {
 		}
 		cf.blocks[b.ID] = cb
 	}
-	if len(m.compiledFns) >= maxPreparedFuncs {
-		m.ResetPrepared()
-	}
-	if m.compiledFns == nil {
-		m.compiledFns = make(map[*ir.Func]*cFunc)
-	}
-	m.compiledFns[fn] = cf
+	m.compiledFns.put(fn, cf)
 	return cf
 }
 

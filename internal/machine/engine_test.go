@@ -395,9 +395,9 @@ func TestPreparedCacheBounded(t *testing.T) {
 		if err != nil || out.Value != 3 {
 			t.Fatalf("iteration %d: out=%+v err=%v", i, out, err)
 		}
-		if len(m.prepared) > maxPreparedFuncs || len(m.compiledFns) > maxPreparedFuncs {
+		if m.prepared.size() > maxPreparedFuncs || m.compiledFns.size() > maxPreparedFuncs {
 			t.Fatalf("caches unbounded: prepared=%d compiled=%d (max %d)",
-				len(m.prepared), len(m.compiledFns), maxPreparedFuncs)
+				m.prepared.size(), m.compiledFns.size(), maxPreparedFuncs)
 		}
 	}
 }
@@ -412,12 +412,12 @@ func TestResetPrepared(t *testing.T) {
 	if _, err := m.Call(fn, 5); err != nil {
 		t.Fatal(err)
 	}
-	if len(m.prepared) == 0 || len(m.compiledFns) == 0 {
-		t.Fatalf("caches not populated: prepared=%d compiled=%d", len(m.prepared), len(m.compiledFns))
+	if m.prepared.size() == 0 || m.compiledFns.size() == 0 {
+		t.Fatalf("caches not populated: prepared=%d compiled=%d", m.prepared.size(), m.compiledFns.size())
 	}
 	m.ResetPrepared()
-	if len(m.prepared) != 0 || len(m.compiledFns) != 0 {
-		t.Fatalf("caches not cleared: prepared=%d compiled=%d", len(m.prepared), len(m.compiledFns))
+	if m.prepared.size() != 0 || m.compiledFns.size() != 0 {
+		t.Fatalf("caches not cleared: prepared=%d compiled=%d", m.prepared.size(), m.compiledFns.size())
 	}
 	out, err := m.Call(fn, 5)
 	if err != nil || out.Value != 5 {

@@ -55,12 +55,12 @@ type Machine struct {
 
 	steps int64
 	// prepared caches per-function pre-decoded instruction tables; entries
-	// are keyed (and invalidated) by *ir.Func identity. Bounded: see
-	// prepare() and ResetPrepared.
-	prepared map[*ir.Func]*pFunc
+	// are keyed (and invalidated) by *ir.Func identity. Bounded with
+	// second-chance eviction: see fncache.go and ResetPrepared.
+	prepared *fnCache[*pFunc]
 	// compiledFns caches closure-compiled functions for EngineClosure,
-	// bounded together with prepared.
-	compiledFns map[*ir.Func]*cFunc
+	// bounded the same way.
+	compiledFns *fnCache[*cFunc]
 	// frames is the closure engine's activation-record pool.
 	frames []*frame
 }
@@ -73,8 +73,8 @@ func New(m *arch.Model, prog *ir.Program) *Machine {
 		Prog:        prog,
 		MaxSteps:    2_000_000_000,
 		Engine:      DefaultEngine,
-		prepared:    make(map[*ir.Func]*pFunc),
-		compiledFns: make(map[*ir.Func]*cFunc),
+		prepared:    newFnCache[*pFunc](maxPreparedFuncs),
+		compiledFns: newFnCache[*cFunc](maxPreparedFuncs),
 	}
 }
 

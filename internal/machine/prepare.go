@@ -54,8 +54,10 @@ func decodeOperand(fn *ir.Func, o ir.Operand) pOp {
 // closure-compiled functions). The caches are keyed by *ir.Func identity and
 // every compilation builds fresh Func values, so long triage/fuzz sessions
 // that push thousands of distinct functions through one Machine would
-// otherwise grow them without limit. Hitting the bound drops everything;
-// entries rebuild on demand.
+// otherwise grow them without limit. Hitting the bound evicts one cold entry
+// per insertion (second chance, see fncache.go); a working set slightly
+// larger than the bound no longer drops everything and re-prepares from
+// scratch each lap.
 const maxPreparedFuncs = 512
 
 // ResetPrepared drops all cached per-function tables (prepared operands and
@@ -65,17 +67,21 @@ const maxPreparedFuncs = 512
 // still referenced by an in-flight exec remain valid; only the cache entries
 // are dropped.
 func (m *Machine) ResetPrepared() {
-	clear(m.prepared)
-	clear(m.compiledFns)
+	if m.prepared != nil {
+		m.prepared.reset()
+	}
+	if m.compiledFns != nil {
+		m.compiledFns.reset()
+	}
 }
 
 // prepare returns fn's prepared table, building and caching it on first use.
 func (m *Machine) prepare(fn *ir.Func) *pFunc {
-	if pf, ok := m.prepared[fn]; ok {
-		return pf
+	if m.prepared == nil {
+		m.prepared = newFnCache[*pFunc](maxPreparedFuncs)
 	}
-	if len(m.prepared) >= maxPreparedFuncs {
-		m.ResetPrepared()
+	if pf, ok := m.prepared.get(fn); ok {
+		return pf
 	}
 	pf := &pFunc{blocks: make([][]pInstr, fn.MaxBlockID()+1)}
 	for _, b := range fn.Blocks {
@@ -89,9 +95,6 @@ func (m *Machine) prepare(fn *ir.Func) *pFunc {
 		}
 		pf.blocks[b.ID] = pins
 	}
-	if m.prepared == nil {
-		m.prepared = make(map[*ir.Func]*pFunc)
-	}
-	m.prepared[fn] = pf
+	m.prepared.put(fn, pf)
 	return pf
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"trapnull/internal/arch"
+	"trapnull/internal/ir"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
 	"trapnull/internal/rt"
@@ -33,8 +34,13 @@ func TestDeepFuzz(t *testing.T) {
 		}
 		return cfg
 	}
+	// One arena serves the whole fuzz run: each generated program is tested
+	// and discarded before the next Reset, so its IR slabs are recycled
+	// instead of re-grown for every (seed, config) pair.
+	arena := ir.NewArena()
 	for seed := first; seed < last; seed++ {
-		base, fnBase := Generate(variant(seed))
+		arena.Reset()
+		base, fnBase := GenerateIn(variant(seed), arena)
 		mb := machine.New(model, base)
 		outB, err := mb.Call(fnBase, 5)
 		if err != nil {
@@ -50,7 +56,10 @@ func TestDeepFuzz(t *testing.T) {
 			{aix, jit.ConfigAIXSpeculation()},
 			{aix, jit.ConfigAIXWriteImplicit()},
 		} {
-			p, fn := Generate(variant(seed))
+			// The baseline program is dead by now (only outB survives), so
+			// the arena can be recycled for the optimized copy.
+			arena.Reset()
+			p, fn := GenerateIn(variant(seed), arena)
 			if _, err := jit.CompileProgram(p, pc.cfg, pc.m); err != nil {
 				t.Fatalf("seed %d [%s/%s]: compile: %v", seed, pc.m.Name, pc.cfg.Name, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"trapnull/internal/arch"
+	"trapnull/internal/ir"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
 )
@@ -44,6 +45,9 @@ func TestEngineDifferentialRandprog(t *testing.T) {
 	}
 
 	models := []*arch.Model{arch.IA32Win(), arch.PPCAIX()}
+	// Each engine's program is executed and abandoned before the next
+	// generation, so one Reset-recycled arena backs the whole corpus.
+	arena := ir.NewArena()
 	for seed := first; seed < last; seed++ {
 		// Cycle through all four (model, compiled?) combinations: even seeds
 		// run the raw generated program, odd seeds run it through the full
@@ -54,7 +58,8 @@ func TestEngineDifferentialRandprog(t *testing.T) {
 		compiled := seed%2 == 1
 		var results [2]result
 		for i, e := range []machine.Engine{machine.EngineClosure, machine.EngineSwitch} {
-			p, fn := Generate(variant(seed))
+			arena.Reset()
+			p, fn := GenerateIn(variant(seed), arena)
 			if compiled {
 				cfg := jit.ConfigPhase1Phase2()
 				if model.Name == "ppc-aix" {

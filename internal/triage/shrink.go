@@ -28,14 +28,17 @@ type edit struct {
 
 // shrink greedily minimizes the entry function while the case still
 // diverges on the triaging input, then fills in the report's reproducer
-// fields.
-func shrink(c Case, div *Divergence, rep *Report) error {
+// fields. The compile cache makes candidate evaluation content-addressed:
+// different edit sequences that converge on the same program (and the
+// initial no-edit replay, which shares its key with Check's compiles) cost
+// one compilation between them.
+func shrink(c Case, div *Divergence, rep *Report, cache *jit.Cache) error {
 	var edits []edit
 	cur, err := builtEntry(c, edits)
 	if err != nil {
 		return err
 	}
-	if !editedCaseDiverges(c, edits, div.Input) {
+	if !editedCaseDiverges(c, edits, div.Input, cache) {
 		return fmt.Errorf("case does not diverge on replay (input %d)", div.Input)
 	}
 
@@ -50,7 +53,7 @@ func shrink(c Case, div *Divergence, rep *Report) error {
 			if ir.Validate(nf) != nil {
 				continue
 			}
-			if editedCaseDiverges(c, trial, div.Input) {
+			if editedCaseDiverges(c, trial, div.Input, cache) {
 				edits, cur = trial, nf
 				improved = true
 				break
@@ -227,7 +230,7 @@ func builtEntry(c Case, edits []edit) (*ir.Func, error) {
 // interpret cleanly unoptimized, compile cleanly, and still disagree with
 // its own baseline on the input. Any disagreement counts — delta debugging
 // preserves "a divergence exists", not the original outcome pair.
-func editedCaseDiverges(c Case, edits []edit, input int64) bool {
+func editedCaseDiverges(c Case, edits []edit, input int64, cache *jit.Cache) bool {
 	base, entryB, err := editedProgram(c, edits)
 	if err != nil {
 		return false
@@ -240,7 +243,8 @@ func editedCaseDiverges(c Case, edits []edit, input int64) bool {
 	if err != nil {
 		return false
 	}
-	if _, err := jit.CompileProgram(opt, c.Config, c.Model); err != nil {
+	opt, entryO, err = compileCached(cache, c, opt, entryO)
+	if err != nil {
 		return false
 	}
 	got, err := interpret(opt, entryO, c.Model, input)

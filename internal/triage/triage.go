@@ -115,8 +115,15 @@ type PassTime struct {
 // Run executes the whole pipeline: Check, then on divergence Bisect and
 // Shrink. A compile error (e.g. a *jit.PassError from a panicking pass) is
 // returned as an error — it is already triaged to a pass by construction.
+//
+// One content-addressed compile cache serves the whole run: Check's
+// per-input replays all share one key (same generator, same projection), and
+// the shrink loop's candidate evaluations hit whenever two edit sequences
+// produce structurally identical programs. The bisection is the one stage
+// that must recompile — it exists to observe the passes running.
 func Run(c Case) (*Report, error) {
-	div, err := Check(c)
+	cache := jit.NewCache(0)
+	div, err := check(c, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +134,7 @@ func Run(c Case) (*Report, error) {
 	if err := bisect(c, div, rep); err != nil {
 		return nil, fmt.Errorf("triage: bisect: %w", err)
 	}
-	if err := shrink(c, div, rep); err != nil {
+	if err := shrink(c, div, rep, cache); err != nil {
 		return nil, fmt.Errorf("triage: shrink: %w", err)
 	}
 	rep.RegressionTest = regressionTest(c, rep)
@@ -138,13 +145,18 @@ func Run(c Case) (*Report, error) {
 // the interpreted baseline on every input. It returns the first divergence,
 // or nil when the case behaves.
 func Check(c Case) (*Divergence, error) {
+	return check(c, jit.NewCache(0))
+}
+
+func check(c Case, cache *jit.Cache) (*Divergence, error) {
 	for _, input := range c.Inputs {
 		want, err := interpretFresh(c, input)
 		if err != nil {
 			return nil, fmt.Errorf("triage: baseline: %w", err)
 		}
 		prog, entry := c.Gen()
-		if _, err := jit.CompileProgram(prog, c.Config, c.Model); err != nil {
+		prog, entry, err = compileCached(cache, c, prog, entry)
+		if err != nil {
 			return nil, fmt.Errorf("triage: compile: %w", err)
 		}
 		got, err := interpret(prog, entry, c.Model, input)
@@ -156,6 +168,47 @@ func Check(c Case) (*Divergence, error) {
 		}
 	}
 	return nil, nil
+}
+
+// compileCached compiles prog under the case's configuration, serving
+// structurally identical programs from the cache. On a hit the freshly
+// generated program is discarded and the cached compiled copy runs instead,
+// with the entry function re-resolved by qualified name — sound because
+// cached entries are immutable and every run gets its own machine and heap.
+// An entry function that is not a method of its program cannot be renamed
+// into a cached copy, so that (unusual) shape compiles directly.
+func compileCached(cache *jit.Cache, c Case, prog *ir.Program, entry *ir.Func) (*ir.Program, *ir.Func, error) {
+	em := methodOf(prog, entry)
+	if cache == nil || em == nil {
+		_, err := jit.CompileProgram(prog, c.Config, c.Model)
+		return prog, entry, err
+	}
+	key := jit.Key(prog, c.Config, c.Model)
+	ent, _, err := cache.GetOrCompile(key, false, func() (*jit.CacheEntry, error) {
+		res, cerr := jit.CompileProgram(prog, c.Config, c.Model)
+		if cerr != nil {
+			return nil, cerr
+		}
+		return &jit.CacheEntry{Program: prog, Result: res}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cm := ent.Program.MethodByName(em.QualifiedName())
+	if cm == nil || cm.Fn == nil {
+		return nil, nil, fmt.Errorf("cached program has no entry method %s", em.QualifiedName())
+	}
+	return ent.Program, cm.Fn, nil
+}
+
+// methodOf finds the method whose body is fn, or nil.
+func methodOf(p *ir.Program, fn *ir.Func) *ir.Method {
+	for _, m := range p.Methods {
+		if m.Fn == fn {
+			return m
+		}
+	}
+	return nil
 }
 
 func interpretFresh(c Case, input int64) (Outcome, error) {
