@@ -47,3 +47,15 @@ TRAPNULL_ENGINE=switch go test -run TestObsEquivalence ./internal/bench
 TRAPNULL_COMPILE_CACHE=off go test ./internal/bench ./internal/jit
 go test -run 'TestCompileCache' ./internal/bench
 go test -run 'TestCache|TestHashProgram|TestProjectConfig|TestParallelCompile' ./internal/jit
+# Tiered differential gate: the full ladder — promotion, speculation,
+# trap-triggered deoptimization — against the untiered engines, under the
+# race detector and again with the reference switch interpreter as the
+# untiered default, so the tiering layer can never drift from either engine.
+go test -race -run 'TestTiered|TestTierHook' ./internal/bench
+TRAPNULL_ENGINE=switch go test -run 'TestTiered' ./internal/bench ./internal/jit
+go test -run 'TestSpecSet|TestKeySpec|TestApplySpeculation' ./internal/jit
+# Tiered bench smoke: the -tier table end to end on quick sizes (checksums
+# verified per invocation), plus one tiered nulljit run that must deopt and
+# converge on the lying-profile workload.
+go run ./cmd/benchtab -tier -quick > /dev/null
+go run ./cmd/nulljit -workload LateNullStorm -tier -tier-reps 3 > /dev/null

@@ -12,6 +12,8 @@
 //	benchtab -compile-cache=off   # disable the content-addressed compile cache
 //	benchtab -compile-parallel 4  # compile each cell's methods on 4 workers
 //	benchtab -engine switch       # run on the reference switch interpreter
+//	benchtab -tier                # tiered-execution tables (policies, not configs)
+//	benchtab -tier-reps 6         # invocations per tiered cell (last = steady state)
 //	benchtab -trace out.json      # Chrome trace of the sweep (Perfetto-viewable)
 //	benchtab -remarks             # per-config null check fate histograms
 //	benchtab -profile             # hot-block execution profile per cell
@@ -42,6 +44,8 @@ func main() {
 		cparallel  = flag.Int("compile-parallel", 0, "per-method compile workers inside each cell (<=1 = serial)")
 		engine     = flag.String("engine", "", "execution engine: closure (default) or switch; both report identical numbers")
 		ablations  = flag.Bool("ablations", false, "run the ablation experiments instead")
+		tier       = flag.Bool("tier", false, "run the tiered-execution sweep instead (steady-state cycles and compile-time-to-peak per policy)")
+		tierReps   = flag.Int("tier-reps", 0, "invocations per tiered cell (0 = default; the last is the steady-state measurement)")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the sweep to this file")
 		remarks    = flag.Bool("remarks", false, "collect null-check fate remarks (adds fate histograms to tables/JSON)")
@@ -89,6 +93,23 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			}
 		}()
+	}
+
+	if *tier {
+		trep, sweepErr := bench.RunTieredAll(bench.TierOptions{
+			Quick: *quick, Reps: *tierReps, CompileParallelism: *cparallel})
+		if *asJSON {
+			data, err := trep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Print(trep.Render())
+		}
+		failOn(sweepErr)
+		return
 	}
 
 	if *ablations {

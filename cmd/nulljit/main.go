@@ -10,6 +10,7 @@
 //	nulljit -trace out.json       # Chrome trace of compile passes + execution
 //	nulljit -remarks              # per-method null check fate ledger
 //	nulljit -profile              # hot-block execution profile
+//	nulljit -tier -tier-reps 4    # tiered adaptive execution with event log
 //	nulljit -list
 package main
 
@@ -80,6 +81,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (pass spans + execution) to this file")
 		remarks  = flag.Bool("remarks", false, "print the per-method null check fate ledger")
 		profile  = flag.Bool("profile", false, "print the hot-block execution profile")
+		tier     = flag.Bool("tier", false, "run tiered adaptive execution (interpreter -> closure -> speculative) and print the promotion/deopt event log")
+		tierReps = flag.Int("tier-reps", 4, "invocations of the tiered run; the last is steady state")
 	)
 	flag.Parse()
 
@@ -101,6 +104,14 @@ func main() {
 	fail(err)
 	model, err := arch.ByName(*aname)
 	fail(err)
+
+	if *tier {
+		if *file != "" {
+			fail(fmt.Errorf("-tier needs a rebuildable program; use -workload, not -file"))
+		}
+		runTiered(*wname, cfg, model, *n, *tierReps)
+		return
+	}
 
 	var prog *ir.Program
 	var entryFn *ir.Func
@@ -232,6 +243,84 @@ func main() {
 		var sb strings.Builder
 		sum.Render(&sb)
 		fmt.Print(sb.String())
+	}
+}
+
+// runTiered executes one workload on a tiered machine — full ladder, with a
+// speculative recompiler wired through a compile cache — and prints the
+// per-invocation cycle deltas, the promotion/deopt event log, and the
+// speculation blacklist. The checksum is verified on every invocation.
+func runTiered(wname string, cfg jit.Config, model *arch.Model, n int64, reps int) {
+	w, err := workloads.ByName(wname)
+	fail(err)
+	size := n
+	if size == 0 {
+		size = w.N
+	}
+	if reps < 1 {
+		reps = 1
+	}
+
+	cache := jit.NewCache(0)
+	compile := func(mask map[string][]int) (*ir.Program, error) {
+		p, _ := w.Build()
+		spec := jit.SpecSet(mask)
+		key := jit.KeySpec(p, cfg, model, spec)
+		entry, _, err := cache.GetOrCompile(key, false, func() (*jit.CacheEntry, error) {
+			res, cerr := jit.CompileProgramWith(p, cfg, model, jit.CompileOptions{Spec: spec})
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &jit.CacheEntry{Program: p, Result: res}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return entry.Program, nil
+	}
+
+	prog, err := compile(nil)
+	fail(err)
+	_, entryM := w.Build()
+	em := prog.MethodByName(entryM.QualifiedName())
+	if em == nil || em.Fn == nil {
+		fail(fmt.Errorf("compiled program lacks entry method %s", entryM.QualifiedName()))
+	}
+
+	m := machine.New(model, prog)
+	m.EnableTiering(machine.DefaultTierPolicy(), compile)
+
+	fmt.Printf("program     %s (n=%d) on %s under %s, tiered (%d invocations)\n",
+		w.Name, size, model.Name, cfg.Name, reps)
+	want := w.Ref(size)
+	for rep := 0; rep < reps; rep++ {
+		before := m.Cycles
+		out, err := m.Call(em.Fn, size)
+		fail(err)
+		status := "OK"
+		if out.Exc != rt.ExcNone {
+			status = fmt.Sprintf("exception %v", out.Exc)
+		} else if out.Value != want {
+			status = fmt.Sprintf("MISMATCH (want %d)", want)
+		}
+		fmt.Printf("invocation  %d: cycles=%d checksum=%d [%s]\n", rep+1, m.Cycles-before, out.Value, status)
+	}
+
+	rep := m.TierReport()
+	fmt.Printf("tier        deopts=%d spec-live=%d compile-host=%v cache: %+v\n",
+		rep.Deopts, rep.SpecLive, rep.CompileHost, cache.Stats())
+	for _, ev := range rep.Events {
+		switch ev.Kind {
+		case "deopt":
+			fmt.Printf("event       %-10s %s (check %d)\n", ev.Kind, ev.Method, ev.Check)
+		case "promote-t2":
+			fmt.Printf("event       %-10s %s (%d checks speculated)\n", ev.Kind, ev.Method, ev.Specs)
+		default:
+			fmt.Printf("event       %-10s %s\n", ev.Kind, ev.Method)
+		}
+	}
+	for name, ords := range m.Blacklisted() {
+		fmt.Printf("blacklist   %s: checks %v\n", name, ords)
 	}
 }
 

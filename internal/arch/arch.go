@@ -198,6 +198,11 @@ func (m *Model) Cost(in *ir.Instr) int64 {
 		// Null test + header load + class compare.
 		return m.AluCycles + m.LoadCycles + m.AluCycles
 	case ir.OpNullCheck:
+		if in.SpecGuard != 0 {
+			// Tier-2 speculation guard: the fast path compiles to nothing;
+			// the rare firing is charged dynamically as a full trap.
+			return 0
+		}
 		return m.ExplicitNullCheckCycles
 	case ir.OpBoundCheck:
 		return m.BoundCheckCycles

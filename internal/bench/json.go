@@ -119,3 +119,70 @@ func (r *Report) JSON() ([]byte, error) {
 	add("aix_specjvm98", r.AIXSpec)
 	return json.MarshalIndent(out, "", "  ")
 }
+
+// jsonTierCell is the export shape of one tiered measurement.
+type jsonTierCell struct {
+	Workload      string `json:"workload"`
+	Policy        string `json:"policy"`
+	Reps          int    `json:"reps"`
+	FirstCycles   int64  `json:"first_cycles"`
+	SteadyCycles  int64  `json:"steady_cycles"`
+	TotalCycles   int64  `json:"total_cycles"`
+	CompileToPeak int64  `json:"compile_to_peak_us"`
+	PromotionsT1  int    `json:"promotions_t1"`
+	PromotionsT2  int    `json:"promotions_t2"`
+	Deopts        int    `json:"deopts"`
+	SpecLive      int    `json:"spec_live"`
+	Error         string `json:"error,omitempty"`
+}
+
+// jsonTieredReport is the export shape of a tiered run.
+type jsonTieredReport struct {
+	GeneratedBy string                    `json:"generated_by"`
+	Matrices    map[string][]jsonTierCell `json:"matrices"`
+}
+
+// JSON renders the tiered report as machine-readable JSON. Cells appear in
+// workload-major, policy-minor order, so two marshals of the same sweep are
+// byte-identical up to the host compile timings.
+func (r *TieredReport) JSON() ([]byte, error) {
+	out := jsonTieredReport{
+		GeneratedBy: "trapnull benchtab -tier",
+		Matrices:    map[string][]jsonTierCell{},
+	}
+	add := func(name string, m *TierMatrix) {
+		if m == nil {
+			return
+		}
+		var cells []jsonTierCell
+		for _, w := range m.Workloads {
+			for _, pol := range m.Policies {
+				c := m.Cell(pol, w.Name)
+				if c == nil {
+					continue
+				}
+				if c.Failed() {
+					cells = append(cells, jsonTierCell{Workload: c.Workload, Policy: c.Policy, Error: c.Err})
+					continue
+				}
+				cells = append(cells, jsonTierCell{
+					Workload:      c.Workload,
+					Policy:        c.Policy,
+					Reps:          c.Reps,
+					FirstCycles:   c.FirstCycles,
+					SteadyCycles:  c.SteadyCycles,
+					TotalCycles:   c.TotalCycles,
+					CompileToPeak: int64(c.CompileToPeak / time.Microsecond),
+					PromotionsT1:  c.PromotionsT1,
+					PromotionsT2:  c.PromotionsT2,
+					Deopts:        c.Deopts,
+					SpecLive:      c.SpecLive,
+				})
+			}
+		}
+		out.Matrices[name] = cells
+	}
+	add("windows_tiered", r.Win)
+	add("aix_tiered", r.AIX)
+	return json.MarshalIndent(out, "", "  ")
+}

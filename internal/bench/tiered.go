@@ -1,0 +1,388 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+	"trapnull/internal/workloads"
+)
+
+// Tiered-execution harness: the bench mode behind benchtab -tier. Where the
+// paper's tables compare static configurations, this mode compares execution
+// POLICIES on one configuration: how a method reaches its peak code, and what
+// that path costs in simulated steady-state cycles and host compile time.
+//
+// Policies:
+//
+//	interp       untiered switch interpreter (tier 0 forever)
+//	eager        untiered closure engine, every method closure-compiled up
+//	             front (the all-at-once tier 1)
+//	tiered       adaptive 0→1: interpret until hot, then closure-compile
+//	tiered-spec  full ladder 0→1→2: additionally recompile hot methods with
+//	             profile-guided speculation guards on never-null checks, and
+//	             deoptimize when a guard fires
+//
+// Every invocation of every cell verifies its checksum against the pure-Go
+// reference, and the untiered rows double as the differential oracle: all
+// four policies must report the same final value on the same workload or the
+// cell errors. Steady-state cycles are the LAST invocation's cycle delta —
+// by then promotions have settled — and compile-time-to-peak is the host
+// time spent compiling before the peak tier ran: the initial jit pipeline
+// compile for everyone, plus eager's up-front closure compilation, plus the
+// tier controller's promotion/recompile cost for the adaptive policies.
+
+// TierCell is one (workload, policy) measurement.
+type TierCell struct {
+	Workload string
+	Policy   string
+	Reps     int
+	// FirstCycles is invocation 1's simulated cost (promotion transients
+	// included); SteadyCycles is the final invocation's.
+	FirstCycles  int64
+	SteadyCycles int64
+	TotalCycles  int64
+	// CompileToPeak is host time: initial jit compile + up-front closure
+	// compiles (eager) + tier promotions and deopt recompiles (tiered).
+	CompileToPeak time.Duration
+	// Ladder traffic; zero for the untiered policies.
+	PromotionsT1 int
+	PromotionsT2 int
+	Deopts       int
+	SpecLive     int
+	// Err marks a failed cell (compile error, checksum mismatch, policy
+	// divergence); measurement fields are zero.
+	Err string
+}
+
+// Failed reports whether the cell is an error entry.
+func (c *TierCell) Failed() bool { return c.Err != "" }
+
+// TierOptions tunes a tiered sweep.
+type TierOptions struct {
+	// Quick selects the small problem sizes (used by tests).
+	Quick bool
+	// Reps is invocations per cell; the last one is the steady-state
+	// measurement. Minimum (and default) is 4: warm-up, promotions,
+	// settle, steady.
+	Reps int
+	// Policy sets the promotion thresholds; the zero value selects
+	// machine.DefaultTierPolicy, scaled down under Quick so the small
+	// problem sizes still cross them.
+	Policy machine.TierPolicy
+	// CompileParallelism is forwarded to jit.CompileOptions.Parallelism.
+	CompileParallelism int
+}
+
+func (o TierOptions) reps() int {
+	if o.Reps >= 3 {
+		return o.Reps
+	}
+	return 4
+}
+
+func (o TierOptions) policy() machine.TierPolicy {
+	if o.Policy != (machine.TierPolicy{}) {
+		return o.Policy
+	}
+	p := machine.DefaultTierPolicy()
+	if o.Quick {
+		// Small problem sizes enter far fewer blocks — and the closure
+		// engine's block batching makes its entries coarser still — so
+		// shrink the thresholds until the quick sweep exercises the whole
+		// ladder within the default rep count.
+		p.T1Blocks, p.T2Blocks, p.MinCheckExecs = 128, 128, 16
+	}
+	return p
+}
+
+// TierPolicies lists the policies in render order.
+func TierPolicies() []string {
+	return []string{"interp", "eager", "tiered", "tiered-spec"}
+}
+
+// TieredWorkloads is the workload set of the tiered tables: hot null-free
+// kernels where speculation should win (NumericSort, Assignment, Compress),
+// the far-offset kernel whose surviving explicit check is the canonical
+// speculation target (BigOffsetWalk), and the two adversarial ones where the
+// profile lies and guards must deoptimize (NullStorm, LateNullStorm).
+func TieredWorkloads() []*workloads.Workload {
+	return []*workloads.Workload{
+		workloads.NumericSort(),
+		workloads.Assignment(),
+		workloads.Compress(),
+		workloads.BigOffsetWalk(),
+		workloads.NullStorm(),
+		workloads.LateNullStorm(),
+	}
+}
+
+// TierMatrix holds one (model, config) tiered sweep.
+type TierMatrix struct {
+	Model     *arch.Model
+	Config    jit.Config
+	Workloads []*workloads.Workload
+	Policies  []string
+	Quick     bool
+	Reps      int
+	// Cells is indexed [policy][workload name].
+	Cells map[string]map[string]*TierCell
+}
+
+// Cell returns the measurement for (policy, workload).
+func (m *TierMatrix) Cell(policy, workload string) *TierCell {
+	if row, ok := m.Cells[policy]; ok {
+		return row[workload]
+	}
+	return nil
+}
+
+// RunTiered sweeps policies × workloads for one (model, config).
+func RunTiered(model *arch.Model, cfg jit.Config, ws []*workloads.Workload, opts TierOptions) (*TierMatrix, error) {
+	m := &TierMatrix{
+		Model:     model,
+		Config:    cfg,
+		Workloads: ws,
+		Policies:  TierPolicies(),
+		Quick:     opts.Quick,
+		Reps:      opts.reps(),
+		Cells:     make(map[string]map[string]*TierCell),
+	}
+	for _, pol := range m.Policies {
+		m.Cells[pol] = make(map[string]*TierCell, len(ws))
+	}
+	var failures []string
+	for _, w := range ws {
+		// Every policy — including the untiered oracle rows — verifies each
+		// invocation's value against the pure-Go reference, so all four
+		// policies agreeing with the reference is the differential check.
+		for _, pol := range m.Policies {
+			c := runTierCell(model, cfg, w, pol, opts)
+			m.Cells[pol][w.Name] = c
+			if c.Failed() {
+				failures = append(failures, fmt.Sprintf("%s/%s: %s", pol, w.Name, c.Err))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return m, fmt.Errorf("bench: %d tiered cell(s) failed:\n  %s", len(failures), joinLines(failures))
+	}
+	return m, nil
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += s
+	}
+	return out
+}
+
+// runTierCell measures one (workload, policy) cell: reps invocations on one
+// machine, each checksum-verified. Any error degrades to an error cell.
+func runTierCell(model *arch.Model, cfg jit.Config, w *workloads.Workload, policy string, opts TierOptions) (cell *TierCell) {
+	errCell := func(reason string) *TierCell {
+		return &TierCell{Workload: w.Name, Policy: policy, Err: reason}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cell = errCell(fmt.Sprintf("panic: %v", r))
+		}
+	}()
+
+	n := w.N
+	if opts.Quick {
+		n = w.TestN
+	}
+	reps := opts.reps()
+
+	// One compile cache per cell keeps the compile-time-to-peak column
+	// honest — every policy pays its own initial compile — while still
+	// giving the tier controller the miss-then-hit behavior its recompiles
+	// are designed around (a deopt's conservative recompile hits the entry
+	// the initial compile stored; a re-promotion under a shrunken mask is a
+	// genuine miss the first time).
+	cache := jit.NewCache(0)
+	_, entryM := w.Build()
+
+	specCompile := func(mask map[string][]int) (*jit.CacheEntry, error) {
+		p, _ := w.Build()
+		spec := jit.SpecSet(mask)
+		key := jit.KeySpec(p, cfg, model, spec)
+		entry, _, err := cache.GetOrCompile(key, false, func() (*jit.CacheEntry, error) {
+			res, cerr := jit.CompileProgramWith(p, cfg, model,
+				jit.CompileOptions{Parallelism: opts.CompileParallelism, Spec: spec})
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &jit.CacheEntry{Program: p, Result: res}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return entry, nil
+	}
+
+	jitStart := time.Now()
+	entry0, err := specCompile(nil)
+	compileToPeak := time.Since(jitStart)
+	if err != nil {
+		return errCell(failReason(err))
+	}
+	prog := entry0.Program
+	em := prog.MethodByName(entryM.QualifiedName())
+	if em == nil || em.Fn == nil {
+		return errCell("compiled program lacks entry method " + entryM.QualifiedName())
+	}
+
+	mach := machine.New(model, prog)
+	switch policy {
+	case "interp":
+		mach.Engine = machine.EngineSwitch
+	case "eager":
+		mach.Engine = machine.EngineClosure
+		compileToPeak += mach.PrecompileClosures()
+	case "tiered":
+		mach.EnableTiering(opts.policy(), nil)
+	case "tiered-spec":
+		mach.EnableTiering(opts.policy(), func(mask map[string][]int) (*ir.Program, error) {
+			e, cerr := specCompile(mask)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return e.Program, nil
+		})
+	default:
+		return errCell("unknown policy " + policy)
+	}
+
+	want := w.Ref(n)
+	var first, last, total int64
+	for rep := 0; rep < reps; rep++ {
+		before := mach.Cycles
+		out, err := mach.Call(em.Fn, n)
+		if err != nil {
+			return errCell(failReason(err))
+		}
+		if out.Exc != rt.ExcNone {
+			return errCell(fmt.Sprintf("unexpected exception %v", out.Exc))
+		}
+		if out.Value != want {
+			return errCell(fmt.Sprintf("checksum mismatch on rep %d: got %d, want %d", rep, out.Value, want))
+		}
+		d := mach.Cycles - before
+		if rep == 0 {
+			first = d
+		}
+		last = d
+		total += d
+	}
+
+	cell = &TierCell{
+		Workload:     w.Name,
+		Policy:       policy,
+		Reps:         reps,
+		FirstCycles:  first,
+		SteadyCycles: last,
+		TotalCycles:  total,
+	}
+	rep := mach.TierReport()
+	compileToPeak += rep.CompileHost
+	cell.CompileToPeak = compileToPeak
+	cell.Deopts = rep.Deopts
+	cell.SpecLive = rep.SpecLive
+	for _, ev := range rep.Events {
+		switch ev.Kind {
+		case "promote-t1":
+			cell.PromotionsT1++
+		case "promote-t2":
+			cell.PromotionsT2++
+		}
+	}
+	return cell
+}
+
+// TieredReport bundles the tiered sweeps of both machines, each under its
+// model's best static configuration — the hardest baseline for tier 2 to
+// beat.
+type TieredReport struct {
+	Win *TierMatrix // ia32-win, NewNullCheck(Phase1+2)
+	AIX *TierMatrix // ppc-aix, Speculation
+}
+
+// RunTieredAll produces the full tiered report. Both sweeps run to
+// completion even when cells fail.
+func RunTieredAll(opts TierOptions) (*TieredReport, error) {
+	var errs []string
+	sweep := func(m *TierMatrix, err error) *TierMatrix {
+		if err != nil {
+			errs = append(errs, err.Error())
+		}
+		return m
+	}
+	rep := &TieredReport{
+		Win: sweep(RunTiered(arch.IA32Win(), jit.ConfigPhase1Phase2(), TieredWorkloads(), opts)),
+		AIX: sweep(RunTiered(arch.PPCAIX(), jit.ConfigAIXSpeculation(), TieredWorkloads(), opts)),
+	}
+	if len(errs) > 0 {
+		return rep, fmt.Errorf("%s", joinLines(errs))
+	}
+	return rep, nil
+}
+
+// TierTable renders one matrix as the tiering table: steady-state cycles and
+// compile-time-to-peak per workload per policy, plus ladder traffic.
+func (m *TierMatrix) TierTable() string {
+	title := fmt.Sprintf("Tiered execution: %s, %s (steady state = last of %d invocations%s)",
+		m.Model.Name, m.Config.Name, m.Reps, quickNote(m.Quick))
+	header := []string{"workload", "policy", "steady cycles", "first cycles",
+		"compile-to-peak (us)", "t1", "t2", "deopts", "spec live"}
+	var rows [][]string
+	for _, w := range m.Workloads {
+		for _, pol := range m.Policies {
+			c := m.Cell(pol, w.Name)
+			if c == nil {
+				rows = append(rows, []string{w.Name, pol, "MISSING", "", "", "", "", "", ""})
+				continue
+			}
+			if c.Failed() {
+				rows = append(rows, []string{w.Name, pol, "ERROR(" + c.Err + ")", "", "", "", "", "", ""})
+				continue
+			}
+			rows = append(rows, []string{
+				w.Name, pol,
+				strconv.FormatInt(c.SteadyCycles, 10),
+				strconv.FormatInt(c.FirstCycles, 10),
+				strconv.FormatInt(int64(c.CompileToPeak/time.Microsecond), 10),
+				strconv.Itoa(c.PromotionsT1),
+				strconv.Itoa(c.PromotionsT2),
+				strconv.Itoa(c.Deopts),
+				strconv.Itoa(c.SpecLive),
+			})
+		}
+	}
+	return renderGrid(title, header, rows,
+		"policies: interp = switch interpreter; eager = closure engine, all methods compiled up front;",
+		"tiered = adaptive interpreter->closure; tiered-spec = + profile-guided speculation with deopt.",
+		"compile-to-peak is host time (jit compile + closure compiles + tier recompiles); cycles are simulated.")
+}
+
+func quickNote(quick bool) string {
+	if quick {
+		return ", quick sizes"
+	}
+	return ""
+}
+
+// Render renders both matrices.
+func (r *TieredReport) Render() string {
+	return r.Win.TierTable() + "\n" + r.AIX.TierTable()
+}

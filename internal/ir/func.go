@@ -277,6 +277,23 @@ func (f *Func) CountOp(op Op) int {
 	return n
 }
 
+// NullChecks returns every OpNullCheck instruction in block order. The slice
+// index is the check's canonical ordinal: the tier controller numbers its
+// speculation mask with it and the jit speculation pass applies the mask by
+// it, so the two sides can never drift as long as both walk the same
+// deterministic compiled body.
+func (f *Func) NullChecks() []*Instr {
+	var checks []*Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpNullCheck {
+				checks = append(checks, in)
+			}
+		}
+	}
+	return checks
+}
+
 // NumInstrs returns the total instruction count.
 func (f *Func) NumInstrs() int {
 	n := 0

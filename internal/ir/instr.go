@@ -315,6 +315,16 @@ type Instr struct {
 	// Speculated marks a memory read hoisted above its null check on
 	// architectures that cannot trap on reads (paper §3.3.1, AIX).
 	Speculated bool
+
+	// SpecGuard, when non-zero on an OpNullCheck, marks the check as a
+	// tier-2 speculation guard: the profile showed zero observed nulls, so
+	// the compiled fast path carries no check instruction at all (the check
+	// costs zero cycles and is not counted as an explicit check). If the
+	// reference IS null the guard fires as a hardware trap and the runtime
+	// deoptimizes. The value is the check's ordinal in Func.NullChecks
+	// order plus one, so a fired guard maps back to its speculation
+	// decision without any side table.
+	SpecGuard int32
 }
 
 // NullCheckVar returns the variable an OpNullCheck guards.

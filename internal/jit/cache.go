@@ -117,6 +117,12 @@ type CacheKey struct {
 	Program [sha256.Size]byte
 	Proj    Projection
 	Model   string // execution model name
+	// Spec is the canonical speculation set (SpecSet.Canon); "" is the
+	// conservative compilation. Including it keys speculative artifacts
+	// separately from conservative ones — and from each other per distinct
+	// speculation set — so a tier-2 recompile can never serve (or poison)
+	// a conservative lookup.
+	Spec string
 }
 
 // Key builds the cache key for compiling prog under cfg on execModel. The
@@ -275,6 +281,7 @@ func (e *hashEnc) instr(in *ir.Instr) {
 	e.bool(in.ExcSite)
 	e.i64(int64(in.ExcVar))
 	e.bool(in.Speculated)
+	e.i64(int64(in.SpecGuard))
 }
 
 // CacheEntry is one cached compilation. Entries are shared between every

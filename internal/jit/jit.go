@@ -116,6 +116,10 @@ type Result struct {
 	BoundChecksRemoved int
 	// FuncsCompiled counts optimized method bodies.
 	FuncsCompiled int
+	// SpeculatedChecks counts surviving checks flipped into tier-2
+	// speculation guards (CompileOptions.Spec); zero for conservative
+	// compilations.
+	SpeculatedChecks int
 }
 
 // CompileOptions tunes one CompileProgramWith call beyond the Config itself.
@@ -129,6 +133,11 @@ type CompileOptions struct {
 	// order them, so the compiled artifact is byte-identical at any setting
 	// (see parallel.go for the safety argument and DESIGN.md §10).
 	Parallelism int
+	// Spec, when non-empty, flips the selected surviving checks into tier-2
+	// speculation guards after the normal pipeline has run (see
+	// speculate.go). Cache keys for speculative compiles must be built with
+	// KeySpec so artifacts never collide with conservative ones.
+	Spec SpecSet
 }
 
 // CompileProgram optimizes every method body of prog (in place) under cfg
@@ -151,9 +160,28 @@ func CompileProgramObserved(prog *ir.Program, cfg Config, execModel *arch.Model,
 // CompileProgramWith is the full-control entry point behind CompileProgram
 // and CompileProgramObserved.
 func CompileProgramWith(prog *ir.Program, cfg Config, execModel *arch.Model, opts CompileOptions) (*Result, error) {
+	var res *Result
+	var err error
 	if opts.Parallelism > 1 {
-		return compileParallel(prog, cfg, execModel, opts)
+		res, err = compileParallel(prog, cfg, execModel, opts)
+	} else {
+		res, err = compileSerial(prog, cfg, execModel, opts)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if len(opts.Spec) > 0 {
+		// Speculation flags are applied after the whole pipeline (including
+		// the guard containment check) has run, so no pass ever observes a
+		// SpecGuard and the speculative body stays block-for-block aligned
+		// with the conservative compilation of the same pristine program.
+		res.SpeculatedChecks = applySpeculation(prog, opts.Spec)
+	}
+	return res, nil
+}
+
+// compileSerial is the single-threaded method loop behind CompileProgramWith.
+func compileSerial(prog *ir.Program, cfg Config, execModel *arch.Model, opts CompileOptions) (*Result, error) {
 	res := &Result{Config: cfg}
 	ob := opts.Observer
 	for _, m := range prog.Methods {

@@ -1,0 +1,111 @@
+// Tier-2 speculative compilation input.
+//
+// The tier controller (internal/machine) watches per-check null profiles on
+// the conservative tier-1 artifact; checks that executed often enough with
+// zero observed nulls become speculation candidates. The controller hands the
+// candidate set here as a SpecSet — method qualified name → ordinals of the
+// surviving checks in ir.Func.NullChecks order — and the pipeline applies it
+// AFTER the normal pass list has run, flipping each selected check into a
+// speculation guard (Instr.SpecGuard = ordinal+1).
+//
+// The application is deliberately a flag flip and nothing more: block
+// structure, instruction order and every other field are untouched, so the
+// speculative artifact is block-for-block aligned with the conservative one.
+// That alignment is what makes on-stack replacement (tier promotion) and
+// trap-triggered deoptimization exact state transfers, and it is also why
+// ordinals computed on the conservative body apply cleanly to the speculative
+// recompile of the same pristine program: compilation is deterministic, so
+// both bodies are identical before the flags are set.
+package jit
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+)
+
+// SpecSet maps a method's qualified name to the ordinals (Func.NullChecks
+// order) of the checks to speculate. A nil or empty set is the conservative
+// compilation.
+type SpecSet map[string][]int
+
+// Canon renders the set in its canonical form: methods sorted by name,
+// ordinals sorted ascending and deduplicated, e.g. "A.main:0,2;B.get:1".
+// The empty string is the conservative (no-speculation) compilation. The
+// canonical form enters the cache key, so speculative and conservative
+// artifacts — and any two distinct speculation sets — can never collide.
+func (s SpecSet) Canon() string {
+	if len(s) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(s))
+	for name, ords := range s {
+		if len(ords) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(name)
+		b.WriteByte(':')
+		ords := append([]int(nil), s[name]...)
+		sort.Ints(ords)
+		prev := -1
+		first := true
+		for _, o := range ords {
+			if o == prev {
+				continue
+			}
+			prev = o
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(strconv.Itoa(o))
+		}
+	}
+	return b.String()
+}
+
+// KeySpec builds the cache key for compiling prog under cfg on execModel with
+// the given speculation set. Key(prog, cfg, model) is KeySpec with a nil set.
+func KeySpec(prog *ir.Program, cfg Config, execModel *arch.Model, spec SpecSet) CacheKey {
+	k := Key(prog, cfg, execModel)
+	k.Spec = spec.Canon()
+	return k
+}
+
+// applySpeculation flips the selected surviving checks into speculation
+// guards and returns how many were applied. Ordinals outside the method's
+// check list are ignored (they cannot arise from a deterministic profile of
+// the same compiled body, but a stale mask must not corrupt a compile).
+func applySpeculation(prog *ir.Program, spec SpecSet) int {
+	applied := 0
+	for _, m := range prog.Methods {
+		if m.Fn == nil {
+			continue
+		}
+		ords := spec[m.QualifiedName()]
+		if len(ords) == 0 {
+			continue
+		}
+		want := make(map[int]bool, len(ords))
+		for _, o := range ords {
+			want[o] = true
+		}
+		for ord, in := range m.Fn.NullChecks() {
+			if want[ord] {
+				in.SpecGuard = int32(ord) + 1
+				applied++
+			}
+		}
+	}
+	return applied
+}

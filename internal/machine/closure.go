@@ -47,6 +47,11 @@ type frame struct {
 	err     error
 	next    int // target block ID set by stJump steps
 	depth   int
+	// deoptFn/deoptCf, set by a fired speculation guard, transfer this
+	// invocation to the conservative artifact at the raise dispatch (the two
+	// artifacts are block-for-block aligned, so the swap is exact).
+	deoptFn *ir.Func
+	deoptCf *cFunc
 }
 
 // stepFn executes one instruction (or one fused superinstruction).
@@ -127,14 +132,57 @@ func (m *Machine) execCf(fn *ir.Func, cf *cFunc, args []int64, depth int) (Outco
 	defer m.framePut(fr)
 	copy(fr.locals, args)
 	fr.depth = depth
+	return m.runCf(fn, cf, fr, cf.entry)
+}
 
+// execCfFrom enters the closure engine mid-function: the interpreter
+// promotes a hot invocation at a block boundary (on-stack replacement),
+// handing over its locals and the block it was about to enter. The depth was
+// already checked by the interpreter's prologue.
+func (m *Machine) execCfFrom(fn *ir.Func, cf *cFunc, locals []int64, startBlk, depth int) (Outcome, error) {
+	fr := m.frameGet(len(locals))
+	defer m.framePut(fr)
+	copy(fr.locals, locals)
+	fr.depth = depth
+	return m.runCf(fn, cf, fr, startBlk)
+}
+
+// runCf is the closure engine's block loop. fn and cf can change while the
+// loop runs: a tier-1→2 promotion swaps in the speculative artifact and a
+// fired speculation guard swaps back to the conservative one — both
+// artifacts are block-for-block aligned, so locals and the current block ID
+// carry over unchanged.
+func (m *Machine) runCf(fn *ir.Func, cf *cFunc, fr *frame, blkID int) (Outcome, error) {
 	var prof []int64
 	if m.Profile != nil {
 		prof = m.Profile.Counters(fn)
 	}
+	// One tier-state fetch per call; the block path pays one nil test when
+	// untiered, one decrement-and-test while counting toward promotion. The
+	// countdown runs before the profile increment, mirroring the interpreter,
+	// so hand-offs never double-count a block entry.
+	var mt *methodTier
+	if m.tier != nil {
+		mt = m.tier.stateOf(fn)
+	}
 
-	blkID := cf.entry
 	for {
+		if mt != nil && mt.tier == tierClosure {
+			mt.budget--
+			if mt.budget <= 0 {
+				if fn2, cf2 := m.tier.promoteT2(mt); cf2 != nil {
+					fn, cf = fn2, cf2
+					if m.Profile != nil {
+						prof = m.Profile.Counters(fn)
+					}
+				}
+				if mt.tier != tierClosure {
+					mt = nil
+				}
+				// Otherwise the profile was too thin to speculate and the
+				// controller re-armed the countdown; keep counting.
+			}
+		}
 		if prof != nil {
 			prof[blkID]++
 		}
@@ -213,6 +261,20 @@ func (m *Machine) execCf(fn *ir.Func, cf *cFunc, args []int64, depth int) (Outco
 		case stRaise:
 			p := fr.pending
 			fr.pending = nil
+			if fr.deoptCf != nil {
+				// Trap-triggered deoptimization: the fired guard already
+				// demoted the method; this invocation transfers to the
+				// conservative artifact before the raise dispatches, so the
+				// handler (or the escape to the caller) and everything after
+				// run tier-0 semantics.
+				fn, cf = fr.deoptFn, fr.deoptCf
+				fr.deoptFn, fr.deoptCf = nil, nil
+				if m.Profile != nil {
+					prof = m.Profile.Counters(fn)
+				}
+				mt = nil
+				cb = &cf.blocks[blkID]
+			}
 			if cb.handler >= 0 {
 				if cb.excVar != ir.NoVar {
 					fr.locals[cb.excVar] = p.ref
@@ -328,6 +390,7 @@ func (m *Machine) frameGet(n int) *frame {
 		fr.out = Outcome{}
 		fr.pending = nil
 		fr.err = nil
+		fr.deoptFn, fr.deoptCf = nil, nil
 		return fr
 	}
 	return &frame{locals: make([]int64, n)}
@@ -772,6 +835,35 @@ func (m *Machine) compileStep(fn *ir.Func, pin *pInstr) stepFn {
 
 	case ir.OpNullCheck:
 		a := pin.args[0]
+		if in.SpecGuard != 0 {
+			// Tier-2 speculation guard: zero static cost, no explicit-check
+			// accounting. A null fires it as a hardware trap — the same NPE
+			// at the same program point the explicit check would have
+			// raised — and triggers deoptimization.
+			return func(fr *frame) status {
+				if pv(fr, &a) != 0 {
+					return stNext
+				}
+				fr.pending = m.trap()
+				if m.tier != nil {
+					m.tier.deopted(fn, in, fr)
+				}
+				return stRaise
+			}
+		}
+		if chk := pin.chk; chk != nil {
+			return func(fr *frame) status {
+				m.Stats.ExplicitChecks++
+				chk.Execs++
+				if pv(fr, &a) == 0 {
+					chk.Nulls++
+					m.Stats.ThrownSoftware++
+					fr.pending = m.throw(rt.ExcNullPointer)
+					return stRaise
+				}
+				return stNext
+			}
+		}
 		return func(fr *frame) status {
 			m.Stats.ExplicitChecks++
 			if pv(fr, &a) == 0 {
@@ -1053,11 +1145,19 @@ func (m *Machine) compileCall(pin *pInstr) stepFn {
 		for i := range args {
 			scratch[i] = pv(fr, &args[i])
 		}
-		if callee != ccFn {
-			ccCf = m.compiled(callee)
-			ccFn = callee
+		var out Outcome
+		var err error
+		if m.tier != nil {
+			// Tiered dispatch: the callee runs whatever artifact its own
+			// tier currently selects.
+			out, err = m.tierInvoke(callee, scratch, fr.depth+1)
+		} else {
+			if callee != ccFn {
+				ccCf = m.compiled(callee)
+				ccFn = callee
+			}
+			out, err = m.execCf(callee, ccCf, scratch, fr.depth+1)
 		}
-		out, err := m.execCf(callee, ccCf, scratch, fr.depth+1)
 		if err != nil {
 			fr.err = err
 			return stErr
@@ -1101,7 +1201,9 @@ func (m *Machine) fuseBare(p, q *pInstr) stepFn {
 	if fuseableCmpIf(p, q) {
 		return m.bareCmpIf(p, q)
 	}
-	if p.in.Op == ir.OpNullCheck && p.args[0].varIdx >= 0 {
+	// Speculation guards never fuse: the guard traps instead of throwing and
+	// must not count as an explicit check, which the fused shapes do.
+	if p.in.Op == ir.OpNullCheck && p.in.SpecGuard == 0 && p.args[0].varIdx >= 0 {
 		switch q.in.Op {
 		case ir.OpGetField, ir.OpPutField, ir.OpArrayLength:
 			if q.args[0].varIdx == p.args[0].varIdx {
@@ -1136,16 +1238,29 @@ func (m *Machine) uncharge(cost int64, imp bool) {
 // the base local read once.
 func (m *Machine) bareNullDeref(p, q *pInstr) stepFn {
 	ai := p.args[0].varIdx
+	chk := p.chk
 	in := q.in
 	costD, impD := m.Arch.Cost(in), in.ExcSite
+
+	// countCheck mirrors the unfused check's accounting, including the
+	// per-check profile counters the tier controller speculates from.
+	countCheck := func(ref int64) {
+		m.Stats.ExplicitChecks++
+		if chk != nil {
+			chk.Execs++
+			if ref == 0 {
+				chk.Nulls++
+			}
+		}
+	}
 
 	switch in.Op {
 	case ir.OpGetField:
 		off := int64(in.Field.Offset)
 		d := in.Dst
 		return func(fr *frame) status {
-			m.Stats.ExplicitChecks++
 			ref := fr.locals[ai]
+			countCheck(ref)
 			if ref == 0 {
 				m.Stats.ThrownSoftware++
 				fr.pending = m.throw(rt.ExcNullPointer)
@@ -1159,8 +1274,8 @@ func (m *Machine) bareNullDeref(p, q *pInstr) stepFn {
 		off := int64(in.Field.Offset)
 		b := q.args[1]
 		return func(fr *frame) status {
-			m.Stats.ExplicitChecks++
 			ref := fr.locals[ai]
+			countCheck(ref)
 			if ref == 0 {
 				m.Stats.ThrownSoftware++
 				fr.pending = m.throw(rt.ExcNullPointer)
@@ -1173,8 +1288,8 @@ func (m *Machine) bareNullDeref(p, q *pInstr) stepFn {
 	default: // ir.OpArrayLength
 		d := in.Dst
 		return func(fr *frame) status {
-			m.Stats.ExplicitChecks++
 			ref := fr.locals[ai]
+			countCheck(ref)
 			if ref == 0 {
 				m.Stats.ThrownSoftware++
 				fr.pending = m.throw(rt.ExcNullPointer)
@@ -1259,7 +1374,8 @@ func (m *Machine) fuseAccounted(fn *ir.Func, p, q *pInstr) stepFn {
 	if fuseableCmpIf(p, q) {
 		return m.accCmpIf(fn, p, q)
 	}
-	if p.in.Op == ir.OpNullCheck && p.args[0].varIdx >= 0 {
+	// Speculation guards never fuse (see fuseBare).
+	if p.in.Op == ir.OpNullCheck && p.in.SpecGuard == 0 && p.args[0].varIdx >= 0 {
 		switch q.in.Op {
 		case ir.OpGetField, ir.OpPutField, ir.OpArrayLength:
 			if q.args[0].varIdx == p.args[0].varIdx {
@@ -1308,6 +1424,7 @@ func (m *Machine) accCmpIf(fn *ir.Func, p, q *pInstr) stepFn {
 // and never batched; each constituent ticks before executing.
 func (m *Machine) accNullDeref(fn *ir.Func, p, q *pInstr) stepFn {
 	ai := p.args[0].varIdx
+	chk := p.chk
 	costN, impN := m.Arch.Cost(p.in), p.in.ExcSite
 	costD, impD := m.Arch.Cost(q.in), q.in.ExcSite
 	in := q.in
@@ -1318,6 +1435,12 @@ func (m *Machine) accNullDeref(fn *ir.Func, p, q *pInstr) stepFn {
 		}
 		m.Stats.ExplicitChecks++
 		ref := fr.locals[ai]
+		if chk != nil {
+			chk.Execs++
+			if ref == 0 {
+				chk.Nulls++
+			}
+		}
 		if ref == 0 {
 			m.Stats.ThrownSoftware++
 			fr.pending = m.throw(rt.ExcNullPointer)

@@ -54,6 +54,11 @@ type Machine struct {
 	Profile *obs.ExecProfile
 
 	steps int64
+	// tier, when non-nil, drives tiered adaptive execution (EnableTiering):
+	// per-method promotion interpreter → closure engine → speculative
+	// recompile, and trap-triggered deoptimization. Untiered cost: one nil
+	// test per call and one per block entry.
+	tier *tierController
 	// prepared caches per-function pre-decoded instruction tables; entries
 	// are keyed (and invalidated) by *ir.Func identity. Bounded with
 	// second-chance eviction: see fncache.go and ResetPrepared.
@@ -94,6 +99,9 @@ type Outcome struct {
 func (m *Machine) Call(fn *ir.Func, args ...int64) (Outcome, error) {
 	if len(args) != fn.NumParams {
 		return Outcome{}, fmt.Errorf("machine: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
+	}
+	if m.tier != nil {
+		return m.tierInvoke(fn, args, 0)
 	}
 	if m.Engine == EngineSwitch {
 		return m.exec(fn, args, 0)
@@ -143,9 +151,27 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 	if m.Profile != nil {
 		prof = m.Profile.Counters(fn)
 	}
+	// Tier state is fetched once per call, like prof; the per-block cost of
+	// the promotion countdown is one nil test (untiered) or one
+	// decrement-and-test (tiered). The countdown runs BEFORE the profile
+	// increment so an on-stack replacement hands over "about to enter this
+	// block" and the closure engine's loop top counts the entry exactly once.
+	var mt *methodTier
+	if m.tier != nil {
+		mt = m.tier.stateOf(fn)
+	}
 
 	blk := fn.Entry
 	for {
+		if mt != nil && mt.tier == tierInterp {
+			mt.budget--
+			if mt.budget <= 0 {
+				if cf := m.tier.promoteT1(mt); cf != nil {
+					return m.execCfFrom(fn, cf, locals, blk.ID, depth)
+				}
+				mt = nil
+			}
+		}
 		if prof != nil {
 			prof[blk.ID]++
 		}
@@ -230,8 +256,28 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 				}
 
 			case ir.OpNullCheck:
+				if in.SpecGuard != 0 {
+					// Tier-2 speculation guard: costs nothing and counts as no
+					// explicit check. A null fires it as a hardware trap —
+					// the same NPE at the same program point the explicit
+					// check would have raised — and deoptimizes.
+					if val(&pin.args[0]) == 0 {
+						pending = m.trap()
+						if m.tier != nil {
+							m.tier.deopted(fn, in, nil)
+						}
+						break instrLoop
+					}
+					break
+				}
 				m.Stats.ExplicitChecks++
+				if pin.chk != nil {
+					pin.chk.Execs++
+				}
 				if val(&pin.args[0]) == 0 {
+					if pin.chk != nil {
+						pin.chk.Nulls++
+					}
 					m.Stats.ThrownSoftware++
 					pending = m.throw(rt.ExcNullPointer)
 					break instrLoop
@@ -460,6 +506,11 @@ func (m *Machine) callTarget(pin *pInstr, depth int,
 	args := make([]int64, len(pin.args))
 	for i := range pin.args {
 		args[i] = val(&pin.args[i])
+	}
+	if m.tier != nil {
+		// Callees dispatch through the tier table: a hot callee may already
+		// run compiled (or speculative) code while this caller interprets.
+		return m.tierInvoke(cal.Fn, args, depth+1)
 	}
 	return m.exec(cal.Fn, args, depth+1)
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"trapnull/internal/ir"
+	"trapnull/internal/obs"
 )
 
 // This file implements the prepared-instruction tables of the exec loop.
@@ -26,10 +27,14 @@ type pOp struct {
 	f64     float64
 }
 
-// pInstr pairs an instruction with its pre-decoded operands.
+// pInstr pairs an instruction with its pre-decoded operands. chk is the
+// per-check profile cell, bound once at prepare time for OpNullCheck when a
+// profile is attached, so the hot path pays plain field increments and never
+// a map lookup.
 type pInstr struct {
 	in   *ir.Instr
 	args []pOp
+	chk  *obs.CheckCounts
 }
 
 // pFunc holds one function's prepared blocks, dense by Block.ID.
@@ -73,6 +78,12 @@ func (m *Machine) ResetPrepared() {
 	if m.compiledFns != nil {
 		m.compiledFns.reset()
 	}
+	// Tier state indexes compiled artifacts by *ir.Func identity too; a replay
+	// that swaps Func values must not dispatch through a stale speculative
+	// closure, so the controller rebuilds from the current program.
+	if m.tier != nil {
+		m.tier.reset()
+	}
 }
 
 // prepare returns fn's prepared table, building and caching it on first use.
@@ -92,6 +103,9 @@ func (m *Machine) prepare(fn *ir.Func) *pFunc {
 				args[j] = decodeOperand(fn, o)
 			}
 			pins[i] = pInstr{in: in, args: args}
+			if in.Op == ir.OpNullCheck && m.Profile != nil {
+				pins[i].chk = m.Profile.CheckCounter(in)
+			}
 		}
 		pf.blocks[b.ID] = pins
 	}

@@ -18,14 +18,51 @@ import (
 // An ExecProfile is owned by one Machine and is not safe for concurrent use,
 // matching the Machine itself.
 type ExecProfile struct {
-	funcs map[*ir.Func][]int64
-	order []*ir.Func // registration order: deterministic iteration
+	funcs  map[*ir.Func][]int64
+	order  []*ir.Func // registration order: deterministic iteration
+	checks map[*ir.Instr]*CheckCounts
 }
 
 // NewExecProfile returns an empty profile.
 func NewExecProfile() *ExecProfile {
-	return &ExecProfile{funcs: make(map[*ir.Func][]int64)}
+	return &ExecProfile{
+		funcs:  make(map[*ir.Func][]int64),
+		checks: make(map[*ir.Instr]*CheckCounts),
+	}
 }
+
+// CheckCounts is the per-null-check dynamic profile: how many times the check
+// executed and how many of those executions saw a null reference. The tier
+// controller speculates checks whose Execs is high and Nulls is zero. The
+// machine binds one counter pointer per compiled check at prepare /
+// closure-compile time, so the hot path pays two field increments and no map
+// lookups.
+type CheckCounts struct {
+	Execs int64
+	Nulls int64
+}
+
+// CheckCounter returns the counter cell for check instruction in, creating it
+// on first use. Distinct *ir.Instr keys from block-aligned artifacts of the
+// same method can be aliased onto one cell with BindCheck so conservative and
+// speculative runs accumulate into the same profile.
+func (p *ExecProfile) CheckCounter(in *ir.Instr) *CheckCounts {
+	if c, ok := p.checks[in]; ok {
+		return c
+	}
+	c := &CheckCounts{}
+	p.checks[in] = c
+	return c
+}
+
+// BindCheck aliases check instruction in onto an existing counter cell. The
+// tier controller uses it to point a speculative recompile's checks at the
+// conservative artifact's counters (same method, same check ordinals).
+func (p *ExecProfile) BindCheck(in *ir.Instr, c *CheckCounts) { p.checks[in] = c }
+
+// PeekCheck returns the counter cell for in, or nil if it never executed and
+// was never bound. Read-only: it does not allocate a cell.
+func (p *ExecProfile) PeekCheck(in *ir.Instr) *CheckCounts { return p.checks[in] }
 
 // Counters returns fn's per-block entry counters, indexed by block ID.
 func (p *ExecProfile) Counters(fn *ir.Func) []int64 {

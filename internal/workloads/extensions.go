@@ -172,3 +172,123 @@ func buildBigOffsetWalk() (*ir.Program, *ir.Method) {
 func refBigOffsetWalk(n int64) int64 {
 	return 11 * n
 }
+
+// LateNullStorm is the workload where the profile lies. Two references are
+// dereferenced through a field beyond the 4 KB trap area — so phase 2 cannot
+// convert the checks on either model and they survive as explicit,
+// speculable checks — and each goes null late, at a staggered threshold
+// (3n/4 and 7n/8), inside its own in-loop try/catch. A tiered machine
+// profiles thousands of null-free executions, speculates both checks away,
+// then meets the nulls: each fired guard must deoptimize, blacklist its
+// speculation, and converge to conservative code with the exact untiered
+// Outcome. The parameter is the iteration count.
+func LateNullStorm() *Workload {
+	return &Workload{
+		Name:  "LateNullStorm",
+		Suite: "extension",
+		N:     6000,
+		TestN: 1200,
+		Build: buildLateNullStorm,
+		Ref:   refLateNullStorm,
+	}
+}
+
+func buildLateNullStorm() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("LateNullStorm")
+	cls := p.NewClass("Far",
+		&ir.Field{Name: "pad", Kind: ir.KindInt},
+		&ir.Field{Name: "far", Kind: ir.KindInt, Offset: bigOffset},
+	)
+
+	b, n := entry("LateNullStorm")
+	a := b.Local("a", ir.KindRef)
+	c := b.Local("c", ir.KindRef)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	t1 := b.Local("t1", ir.KindInt)
+	t2 := b.Local("t2", ir.KindInt)
+	exc1 := b.Local("exc1", ir.KindRef)
+	exc2 := b.Local("exc2", ir.KindRef)
+
+	b.New(a, cls)
+	b.PutField(a, cls.FieldByName("far"), ir.ConstInt(11))
+	b.New(c, cls)
+	b.PutField(c, cls.FieldByName("far"), ir.ConstInt(13))
+	b.Move(s, ir.ConstInt(0))
+	b.Binop(ir.OpMul, t1, ir.Var(n), ir.ConstInt(3))
+	b.Binop(ir.OpDiv, t1, ir.Var(t1), ir.ConstInt(4))
+	b.Binop(ir.OpMul, t2, ir.Var(n), ir.ConstInt(7))
+	b.Binop(ir.OpDiv, t2, ir.Var(t2), ir.ConstInt(8))
+
+	f := b.F
+	body := b.DeclareBlock("body")
+	try1 := b.DeclareBlock("deref_a")
+	h1 := b.DeclareBlock("handler_a")
+	try2 := b.DeclareBlock("deref_c")
+	h2 := b.DeclareBlock("handler_c")
+	after := b.DeclareBlock("after")
+	exit := b.DeclareBlock("exit")
+	r1 := f.NewRegion(h1, exc1)
+	try1.Try = r1.ID
+	r2 := f.NewRegion(h2, exc2)
+	try2.Try = r2.ID
+
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	ifThen(b, ir.CondEQ, ir.Var(i), ir.Var(t1), func() { b.Move(a, ir.Null()) })
+	ifThen(b, ir.CondEQ, ir.Var(i), ir.Var(t2), func() { b.Move(c, ir.Null()) })
+	b.Jump(try1)
+
+	b.SetBlock(try1)
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, a, cls.FieldByName("far"))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(v))
+	b.Jump(try2)
+	b.SetBlock(h1)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(1))
+	b.Jump(try2)
+
+	b.SetBlock(try2)
+	w := b.Temp(ir.KindInt)
+	b.GetField(w, c, cls.FieldByName("far"))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(w))
+	b.Jump(after)
+	b.SetBlock(h2)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(3))
+	b.Jump(after)
+
+	b.SetBlock(after)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refLateNullStorm(n int64) int64 {
+	t1, t2 := n*3/4, n*7/8
+	var s int64
+	aNull, cNull := false, false
+	for i := int64(0); i < n; i++ {
+		if i == t1 {
+			aNull = true
+		}
+		if i == t2 {
+			cNull = true
+		}
+		if aNull {
+			s++
+		} else {
+			s += 11
+		}
+		if cNull {
+			s += 3
+		} else {
+			s += 13
+		}
+	}
+	return s
+}

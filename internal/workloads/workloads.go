@@ -64,9 +64,18 @@ func All() []*Workload {
 	return append(JBYTEmark(), SPECjvm98()...)
 }
 
-// ByName finds a workload by case-sensitive name.
+// Extensions returns the workloads beyond the paper's benchmark set
+// (extensions.go): the ablation kernels and the tiering adversaries. They
+// stay out of All() so the paper's tables keep their original seventeen
+// rows, but ByName resolves them for the inspection tools.
+func Extensions() []*Workload {
+	return []*Workload{NullStorm(), BigOffsetWalk(), LateNullStorm()}
+}
+
+// ByName finds a workload by case-sensitive name, searching the paper's set
+// and the extensions.
 func ByName(name string) (*Workload, error) {
-	for _, w := range All() {
+	for _, w := range append(All(), Extensions()...) {
 		if w.Name == name {
 			return w, nil
 		}
