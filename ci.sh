@@ -59,3 +59,19 @@ go test -run 'TestSpecSet|TestKeySpec|TestApplySpeculation' ./internal/jit
 # converge on the lying-profile workload.
 go run ./cmd/benchtab -tier -quick > /dev/null
 go run ./cmd/nulljit -workload LateNullStorm -tier -tier-reps 3 > /dev/null
+# Robustness gate (governor + fault injection). The chaos pass replays the
+# same seeded fault schedule under the race detector and on both engines —
+# the reports must be byte-identical and every failure one the schedule
+# armed. The governor differential pins governed Outcomes bit-identical to
+# the untiered switch-engine oracle, and the degradation acceptance test
+# requires governed steady state to beat all-implicit (and stay within 5%
+# of all-explicit) on both arch models.
+go test -race -run 'TestChaos|TestGovernor|TestDegradation|TestCellTimeout|TestSpecBudget' ./internal/bench
+TRAPNULL_ENGINE=switch go test -run 'TestChaos|TestGovernor|TestDegradation' ./internal/bench
+go test -run 'TestDemote|TestTrapSite|TestApplyDemotion|TestKeyDemote|TestCacheSingleFlight' ./internal/jit
+go test ./internal/faultinject
+# Robustness bench smoke: the degradation table and one seeded chaos sweep
+# end to end on quick sizes (chaos exits non-zero only on a non-injected
+# failure).
+go run ./cmd/benchtab -degradation -quick > /dev/null
+go run ./cmd/benchtab -chaos -chaos-seed 7 > /dev/null

@@ -14,6 +14,9 @@
 //	benchtab -engine switch       # run on the reference switch interpreter
 //	benchtab -tier                # tiered-execution tables (policies, not configs)
 //	benchtab -tier-reps 6         # invocations per tiered cell (last = steady state)
+//	benchtab -degradation         # trap-storm governor degradation tables
+//	benchtab -chaos -chaos-seed 7 # deterministic seeded fault-injection sweep
+//	benchtab -cell-timeout 30s    # per-cell wall-clock deadline -> ERROR(timeout)
 //	benchtab -trace out.json      # Chrome trace of the sweep (Perfetto-viewable)
 //	benchtab -remarks             # per-config null check fate histograms
 //	benchtab -profile             # hot-block execution profile per cell
@@ -46,6 +49,11 @@ func main() {
 		ablations  = flag.Bool("ablations", false, "run the ablation experiments instead")
 		tier       = flag.Bool("tier", false, "run the tiered-execution sweep instead (steady-state cycles and compile-time-to-peak per policy)")
 		tierReps   = flag.Int("tier-reps", 0, "invocations per tiered cell (0 = default; the last is the steady-state measurement)")
+		degrade    = flag.Bool("degradation", false, "run the trap-storm degradation sweep instead (implicit vs explicit vs governed per model)")
+		degReps    = flag.Int("degradation-reps", 0, "invocations per degradation cell (0 = default 3; the last is the steady-state measurement)")
+		chaos      = flag.Bool("chaos", false, "run the seeded fault-injection sweep instead; fails only on non-injected errors")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "seed of the -chaos fault schedule (same seed = byte-identical report)")
+		cellTO     = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline for the main sweep (0 = none; expired cells render ERROR(timeout))")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the sweep to this file")
 		remarks    = flag.Bool("remarks", false, "collect null-check fate remarks (adds fate histograms to tables/JSON)")
@@ -112,6 +120,34 @@ func main() {
 		return
 	}
 
+	if *degrade {
+		drep, sweepErr := bench.RunDegradationAll(bench.DegradationOptions{
+			Quick: *quick, Reps: *degReps, CompileParallelism: *cparallel})
+		if *asJSON {
+			data, err := drep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Print(drep.Render())
+		}
+		failOn(sweepErr)
+		return
+	}
+
+	if *chaos {
+		// Injected faults are the point of the sweep: they render as
+		// deterministic ERROR(...) cells inside the report. Only a fault the
+		// schedule did not arm fails the run.
+		crep, chaosErr := bench.RunChaos(*chaosSeed, bench.ChaosOptions{
+			Parallelism: *parallel, CellTimeout: *cellTO, CompileParallelism: *cparallel})
+		fmt.Print(crep.Render())
+		failOn(chaosErr)
+		return
+	}
+
 	if *ablations {
 		out, err := bench.Ablations(*quick)
 		if err != nil {
@@ -144,7 +180,7 @@ func main() {
 
 	opts := bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel,
 		CompileCache: cacheSetting, CompileParallelism: *cparallel,
-		Remarks: *remarks, Profile: *profile}
+		Remarks: *remarks, Profile: *profile, CellTimeout: *cellTO}
 	var tr *obs.Trace
 	if *traceOut != "" {
 		tr = obs.NewTrace()

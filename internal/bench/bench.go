@@ -12,9 +12,11 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trapnull/internal/arch"
+	"trapnull/internal/faultinject"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
 	"trapnull/internal/obs"
@@ -125,6 +127,18 @@ type Options struct {
 	// Profile counts block entries during every cell's run and fills
 	// Cell.Profile (benchtab -profile; JSON profile).
 	Profile bool
+
+	// CellTimeout, when positive, bounds each cell's wall-clock measurement
+	// (benchtab -cell-timeout). A cell that exceeds it is cancelled
+	// cooperatively — the machine's abort flag is raised and polled at block
+	// entry — and renders as the deterministic ERROR(timeout) entry instead
+	// of hanging the sweep.
+	CellTimeout time.Duration
+	// Inject attaches a deterministic fault-injection schedule to the sweep
+	// (benchtab -chaos): seeded compile-pass panics, engine step faults and
+	// compile-cache slot faults, all keyed on semantic coordinates so the
+	// same seed reproduces the same faults byte-for-byte at any parallelism.
+	Inject *faultinject.Injector
 }
 
 // CacheSetting is the tri-state compile-cache switch.
@@ -209,6 +223,10 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 	var cache *jit.Cache
 	if opts.cacheEnabled() {
 		cache = jit.NewCache(0)
+		if opts.Inject != nil {
+			cf := opts.Inject.CacheFaults()
+			cache.SetFaultPolicy(&jit.CacheFaultPolicy{Evict: cf.Evict, Corrupt: cf.Corrupt})
+		}
 	}
 
 	jobs := make(chan job, total)
@@ -218,7 +236,7 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				cells[j.ci][j.wi] = runOne(model, configs[j.ci], ws[j.wi], opts, cache)
+				cells[j.ci][j.wi] = runCell(model, configs[j.ci], ws[j.wi], opts, cache)
 			}
 		}()
 	}
@@ -266,10 +284,35 @@ func failReason(err error) string {
 	return err.Error()
 }
 
+// runCell wraps runOne with the optional wall-clock deadline. The cell runs
+// on its own goroutine; on timeout the machine's abort flag is raised and the
+// wrapper waits for the cooperative cancel (block-entry polls) so the cell
+// has stopped touching shared state — the compile cache above all — before
+// the deterministic ERROR(timeout) entry replaces whatever it was measuring.
+func runCell(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options, cache *jit.Cache) *Cell {
+	if opts.CellTimeout <= 0 {
+		return runOne(model, cfg, w, opts, cache, nil)
+	}
+	abort := new(atomic.Bool)
+	done := make(chan *Cell, 1)
+	go func() { done <- runOne(model, cfg, w, opts, cache, abort) }()
+	timer := time.NewTimer(opts.CellTimeout)
+	defer timer.Stop()
+	select {
+	case c := <-done:
+		return c
+	case <-timer.C:
+		abort.Store(true)
+		<-done
+		return &Cell{Workload: w.Name, Config: cfg.Name, Err: "timeout"}
+	}
+}
+
 // runOne measures one (config, workload) cell. It never fails the sweep: any
 // error — including a panic out of the workload builder, the compiler, or
-// the simulated machine — degrades to an error cell.
-func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options, cache *jit.Cache) (cell *Cell) {
+// the simulated machine — degrades to an error cell. abort, when non-nil, is
+// the cooperative cancellation flag runCell polls through the machine.
+func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options, cache *jit.Cache, abort *atomic.Bool) (cell *Cell) {
 	errCell := func(reason string) *Cell {
 		return &Cell{Workload: w.Name, Config: cfg.Name, Err: reason}
 	}
@@ -286,7 +329,7 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 
 	cellName := cfg.Name + "/" + w.Name
 	if cache != nil {
-		return runOneCached(model, cfg, w, opts, cache, n, cellName, errCell)
+		return runOneCached(model, cfg, w, opts, cache, n, cellName, errCell, abort)
 	}
 
 	// Compile: repeat for timing stability, keeping the fastest rep (the
@@ -305,6 +348,13 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		p, entryM := w.Build()
 		final := rep == opts.CompileReps-1
 
+		// Injected pass faults key on the compilation's content identity, so
+		// every rep of the same cell draws the same fault.
+		var passFault func(method, pass string) string
+		if opts.Inject != nil {
+			passFault = opts.Inject.PassFault(jit.Key(p, cfg, model).ID())
+		}
+
 		var res *jit.Result
 		var err error
 		if final && opts.observed() {
@@ -320,10 +370,10 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 				ob.Remarks = rem
 			}
 			res, err = jit.CompileProgramWith(p, cfg, model,
-				jit.CompileOptions{Observer: ob, Parallelism: opts.CompileParallelism})
+				jit.CompileOptions{Observer: ob, Parallelism: opts.CompileParallelism, PassFault: passFault})
 		} else {
 			res, err = jit.CompileProgramWith(p, cfg, model,
-				jit.CompileOptions{Parallelism: opts.CompileParallelism})
+				jit.CompileOptions{Parallelism: opts.CompileParallelism, PassFault: passFault})
 		}
 		if err != nil {
 			return errCell(failReason(err))
@@ -333,6 +383,12 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		}
 		if final {
 			mach := machine.New(model, p)
+			mach.Abort = abort
+			if opts.Inject != nil {
+				if step, ok := opts.Inject.StepFault(model.Name + "/" + cellName); ok {
+					mach.InjectStepFault(step)
+				}
+			}
 			if opts.Profile {
 				prof = obs.NewExecProfile()
 				mach.Profile = prof
@@ -391,7 +447,7 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 // RE-DERIVED from the shared immutable entry rather than accumulated into
 // it, so two cells hitting one entry never double-count.
 func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Options,
-	cache *jit.Cache, n int64, cellName string, errCell func(string) *Cell) *Cell {
+	cache *jit.Cache, n int64, cellName string, errCell func(string) *Cell, abort *atomic.Bool) *Cell {
 	p, entryM := w.Build()
 
 	var tid int64
@@ -402,6 +458,13 @@ func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts
 	}
 
 	key := jit.Key(p, cfg, model)
+	// Injected pass faults key on the compilation identity (the cache key),
+	// not the cell: under single-flight coalescing WHICH cell compiles depends
+	// on worker interleaving, but what is compiled does not.
+	var passFault func(method, pass string) string
+	if opts.Inject != nil {
+		passFault = opts.Inject.PassFault(key.ID())
+	}
 	entry, hit, err := cache.GetOrCompile(key, opts.Remarks, func() (*jit.CacheEntry, error) {
 		var rem *obs.Remarks
 		var ob *jit.Observer
@@ -417,7 +480,7 @@ func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts
 			}
 		}
 		res, cerr := jit.CompileProgramWith(p, cfg, model,
-			jit.CompileOptions{Observer: ob, Parallelism: opts.CompileParallelism})
+			jit.CompileOptions{Observer: ob, Parallelism: opts.CompileParallelism, PassFault: passFault})
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -442,6 +505,12 @@ func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts
 	}
 
 	mach := machine.New(model, prog)
+	mach.Abort = abort
+	if opts.Inject != nil {
+		if step, ok := opts.Inject.StepFault(model.Name + "/" + cellName); ok {
+			mach.InjectStepFault(step)
+		}
+	}
 	var prof *obs.ExecProfile
 	if opts.Profile {
 		prof = obs.NewExecProfile()

@@ -54,7 +54,7 @@ type jsonReport struct {
 	// entirely when the cache is off, so cache-off JSON is byte-identical to
 	// the pre-cache shape.
 	CompileCache []jsonCacheStats      `json:"compile_cache,omitempty"`
-	Matrices    map[string][]jsonCell `json:"matrices"`
+	Matrices     map[string][]jsonCell `json:"matrices"`
 }
 
 // JSON renders the whole report as machine-readable JSON, for plotting or
@@ -184,5 +184,70 @@ func (r *TieredReport) JSON() ([]byte, error) {
 	}
 	add("windows_tiered", r.Win)
 	add("aix_tiered", r.AIX)
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// jsonDegradationCell is the export shape of one degradation measurement.
+type jsonDegradationCell struct {
+	Workload     string `json:"workload"`
+	Policy       string `json:"policy"`
+	Reps         int    `json:"reps"`
+	FirstCycles  int64  `json:"first_cycles"`
+	SteadyCycles int64  `json:"steady_cycles"`
+	SteadyTraps  int64  `json:"steady_traps"`
+	SteadyChecks int64  `json:"steady_checks"`
+	Demotions    int    `json:"demotions"`
+	Recompiles   int    `json:"recompiles"`
+	Pinned       int    `json:"pinned"`
+	Error        string `json:"error,omitempty"`
+}
+
+// jsonDegradationReport is the export shape of a degradation run.
+type jsonDegradationReport struct {
+	GeneratedBy string                           `json:"generated_by"`
+	Matrices    map[string][]jsonDegradationCell `json:"matrices"`
+}
+
+// JSON renders the degradation report as machine-readable JSON. Cells appear
+// in workload-major, policy-minor order, so two marshals of the same sweep
+// are byte-identical (the measurements themselves are deterministic).
+func (r *DegradationReport) JSON() ([]byte, error) {
+	out := jsonDegradationReport{
+		GeneratedBy: "trapnull benchtab -degradation",
+		Matrices:    map[string][]jsonDegradationCell{},
+	}
+	add := func(name string, m *DegradationMatrix) {
+		if m == nil {
+			return
+		}
+		var cells []jsonDegradationCell
+		for _, w := range m.Workloads {
+			for _, pol := range m.Policies {
+				c := m.Cell(pol, w.Name)
+				if c == nil {
+					continue
+				}
+				if c.Failed() {
+					cells = append(cells, jsonDegradationCell{Workload: c.Workload, Policy: c.Policy, Error: c.Err})
+					continue
+				}
+				cells = append(cells, jsonDegradationCell{
+					Workload:     c.Workload,
+					Policy:       c.Policy,
+					Reps:         c.Reps,
+					FirstCycles:  c.FirstCycles,
+					SteadyCycles: c.SteadyCycles,
+					SteadyTraps:  c.SteadyTraps,
+					SteadyChecks: c.SteadyChecks,
+					Demotions:    c.Demotions,
+					Recompiles:   c.Recompiles,
+					Pinned:       c.Pinned,
+				})
+			}
+		}
+		out.Matrices[name] = cells
+	}
+	add("windows_degradation", r.Win)
+	add("aix_degradation", r.AIX)
 	return json.MarshalIndent(out, "", "  ")
 }

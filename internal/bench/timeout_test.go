@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/jit"
+	"trapnull/internal/workloads"
+)
+
+// TestCellTimeoutDegradesDeterministically: a cell that exceeds the
+// wall-clock deadline is cancelled cooperatively and renders as the
+// deterministic ERROR(timeout) entry; the sweep completes instead of
+// hanging.
+func TestCellTimeoutDegradesDeterministically(t *testing.T) {
+	// A storm sized to run for seconds on the simulated machine; the 30ms
+	// deadline fires long before it finishes.
+	w := workloads.TrapStorm()
+	w.N = 50_000_000
+
+	start := time.Now()
+	m, err := Run(arch.IA32Win(), []jit.Config{jit.ConfigPhase1Phase2()},
+		[]*workloads.Workload{w}, Options{CellTimeout: 30 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("timed-out sweep took %v — the deadline did not cancel the cell", elapsed)
+	}
+	if err == nil {
+		t.Fatal("sweep with a timed-out cell reported success")
+	}
+	c := m.Cell(jit.ConfigPhase1Phase2().Name, w.Name)
+	if c == nil {
+		t.Fatal("missing cell")
+	}
+	if c.Err != "timeout" {
+		t.Fatalf("cell error %q, want the deterministic \"timeout\"", c.Err)
+	}
+	if c.ErrText() != "ERROR(timeout)" {
+		t.Fatalf("rendered error %q, want ERROR(timeout)", c.ErrText())
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("sweep error does not name the timeout: %v", err)
+	}
+
+	// A comfortable deadline leaves the quick-size cell untouched.
+	w2 := workloads.TrapStorm()
+	if _, err := Run(arch.IA32Win(), []jit.Config{jit.ConfigPhase1Phase2()},
+		[]*workloads.Workload{w2}, Options{Quick: true, CellTimeout: 30 * time.Second}); err != nil {
+		t.Fatalf("quick cell failed under a generous deadline: %v", err)
+	}
+}

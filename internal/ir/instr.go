@@ -325,6 +325,15 @@ type Instr struct {
 	// order plus one, so a fired guard maps back to its speculation
 	// decision without any side table.
 	SpecGuard int32
+
+	// TrapSite, when non-zero, is the stable per-method ordinal (plus one)
+	// of an implicit null check site, assigned deterministically after the
+	// pipeline runs. The trap-storm governor keys its per-site null-rate
+	// profile and its DemoteSet on this ordinal, so the same source-level
+	// dereference keeps one identity across recompiles. A demoted site
+	// carries the ordinal on the inserted explicit OpNullCheck instead (the
+	// dereference itself is no longer a site).
+	TrapSite int32
 }
 
 // NullCheckVar returns the variable an OpNullCheck guards.

@@ -26,6 +26,7 @@ package jit
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"fmt"
 	"hash"
 	"math"
 	"sync"
@@ -123,6 +124,19 @@ type CacheKey struct {
 	// speculation set — so a tier-2 recompile can never serve (or poison)
 	// a conservative lookup.
 	Spec string
+	// Demote is the canonical demotion set (DemoteSet.Canon); "" is the
+	// ungoverned compilation. Each governed recompile keys its own artifact,
+	// so the governor's degradation ladder never aliases cache entries.
+	Demote string
+}
+
+// ID renders the key as a deterministic, human-readable string. The
+// fault-injection harness keys its schedule decisions on it, so the same
+// compilation draws the same faults regardless of which sweep cell reaches
+// it first.
+func (k CacheKey) ID() string {
+	return fmt.Sprintf("%x|%s|%+v|spec=%s|demote=%s",
+		k.Program[:8], k.Model, k.Proj, k.Spec, k.Demote)
 }
 
 // Key builds the cache key for compiling prog under cfg on execModel. The
@@ -311,6 +325,30 @@ type CacheStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	// InjectedFaults counts cache-slot faults (evictions/corruptions) fired
+	// by an attached FaultPolicy. Every fired fault is repaired transparently
+	// by recompiling, so it perturbs traffic counters but never outcomes.
+	InjectedFaults int64
+}
+
+// CacheFaultPolicy injects deterministic cache-slot faults for chaos testing.
+// Decisions must be pure functions of the key ID (CacheKey.ID): the policy is
+// consulted when an entry completes, arming at most one fault per key for the
+// cache's lifetime. An armed fault fires on the next lookup that would have
+// hit the entry: an eviction silently drops the slot, a corruption models a
+// poisoned artifact that integrity-checking detects and discards. Both repair
+// the same way — the victim recompiles — so a faulted run reaches the exact
+// outcomes of a clean one; only CacheStats traffic differs.
+type CacheFaultPolicy struct {
+	Evict   func(keyID string) bool
+	Corrupt func(keyID string) bool
+}
+
+// SetFaultPolicy attaches (or clears, with nil) the fault policy.
+func (c *Cache) SetFaultPolicy(p *CacheFaultPolicy) {
+	c.mu.Lock()
+	c.fault = p
+	c.mu.Unlock()
 }
 
 // DefaultCacheCapacity bounds a sweep-scoped cache. A full quick sweep
@@ -333,12 +371,21 @@ type Cache struct {
 	ref  []bool
 	hand int
 	st   CacheStats
+	// Chaos testing: fault is the active policy (usually nil); faulted
+	// remembers keys whose armed fault already fired, enforcing
+	// at-most-once per key.
+	fault   *CacheFaultPolicy
+	faulted map[CacheKey]bool
 }
 
 type cacheSlot struct {
 	ready chan struct{} // closed when entry/err are set
 	entry *CacheEntry
 	err   error
+	// armedFault is non-zero when the fault policy armed an injected fault
+	// on this completed slot (1 = evict, 2 = corrupt). It fires on the next
+	// lookup that would hit the slot.
+	armedFault uint8
 }
 
 // NewCache returns a cache bounded to capacity entries (0 → default).
@@ -392,15 +439,25 @@ func (c *Cache) GetOrCompile(key CacheKey, needRemarks bool, compile func() (*Ca
 			c.mu.Unlock()
 			return nil, false, s.err
 		}
-		if !needRemarks || s.entry.Remarks != nil {
+		if s.armedFault != 0 {
+			// An armed injected fault fires (at most once per key): the slot
+			// is dropped — an eviction loses it outright, a corruption is a
+			// poisoned artifact detected and discarded — and this lookup
+			// repairs it by recompiling below. Outcomes are unaffected.
+			c.st.InjectedFaults++
+			if c.faulted == nil {
+				c.faulted = make(map[CacheKey]bool)
+			}
+			c.faulted[key] = true
+		} else if !needRemarks || s.entry.Remarks != nil {
 			c.st.Hits++
 			c.touch(key)
 			c.mu.Unlock()
 			return s.entry, true, nil
 		}
-		// Entry predates an observed sweep sharing this cache. Fall through
-		// (mutex held) and upgrade by recompiling observed; the replacement
-		// serves both observed and unobserved callers from then on.
+		// Entry predates an observed sweep sharing this cache (or its armed
+		// fault just fired). Fall through (mutex held) and replace it by
+		// recompiling; the replacement serves every caller from then on.
 	}
 
 	// Mutex held on both paths (not found, or found-but-needs-upgrade).
@@ -422,10 +479,26 @@ func (c *Cache) GetOrCompile(key CacheKey, needRemarks bool, compile func() (*Ca
 		}
 	} else {
 		c.insert(key)
+		c.armFault(key, s)
 	}
 	c.mu.Unlock()
 	close(s.ready)
 	return entry, false, err
+}
+
+// armFault consults the fault policy for a freshly completed entry, arming
+// at most one injected fault per key per cache lifetime. Caller holds c.mu.
+func (c *Cache) armFault(key CacheKey, s *cacheSlot) {
+	if c.fault == nil || c.faulted[key] {
+		return
+	}
+	id := key.ID()
+	switch {
+	case c.fault.Evict != nil && c.fault.Evict(id):
+		s.armedFault = 1
+	case c.fault.Corrupt != nil && c.fault.Corrupt(id):
+		s.armedFault = 2
+	}
 }
 
 // touch marks key recently used. Caller holds c.mu.

@@ -120,6 +120,9 @@ type Result struct {
 	// speculation guards (CompileOptions.Spec); zero for conservative
 	// compilations.
 	SpeculatedChecks int
+	// DemotedChecks counts implicit sites forced back to explicit checks
+	// (CompileOptions.Demote); zero for ungoverned compilations.
+	DemotedChecks int
 }
 
 // CompileOptions tunes one CompileProgramWith call beyond the Config itself.
@@ -138,6 +141,16 @@ type CompileOptions struct {
 	// speculate.go). Cache keys for speculative compiles must be built with
 	// KeySpec so artifacts never collide with conservative ones.
 	Spec SpecSet
+	// Demote, when non-empty, forces the selected implicit check sites back
+	// to explicit checks after the normal pipeline has run (see demote.go).
+	// Cache keys for demoted compiles must be built with KeyDemote.
+	Demote DemoteSet
+	// PassFault, when non-nil, is consulted before every optimization pass;
+	// a non-empty return panics inside the pass's containment boundary, so
+	// the fault surfaces as a deterministic *PassError exactly like a real
+	// pass bug would. The fault-injection harness (internal/faultinject)
+	// supplies pure functions of (seed, method, pass) here.
+	PassFault func(method, pass string) string
 }
 
 // CompileProgram optimizes every method body of prog (in place) under cfg
@@ -170,6 +183,18 @@ func CompileProgramWith(prog *ir.Program, cfg Config, execModel *arch.Model, opt
 	if err != nil {
 		return nil, err
 	}
+	// Trap sites are numbered on every compile so the governor can key its
+	// per-site profile on ordinals that survive recompilation; the numbering
+	// is a pure function of the (deterministic) compiled body.
+	numberTrapSites(prog)
+	if len(opts.Demote) > 0 {
+		// Demotion, like speculation below, is applied after the whole
+		// pipeline has run: no pass ever observes an inserted check, and the
+		// demoted body stays block-aligned with the ungoverned compilation
+		// of the same pristine program (instructions are inserted, never
+		// moved or split across blocks).
+		res.DemotedChecks = applyDemotion(prog, opts.Demote)
+	}
 	if len(opts.Spec) > 0 {
 		// Speculation flags are applied after the whole pipeline (including
 		// the guard containment check) has run, so no pass ever observes a
@@ -188,7 +213,7 @@ func compileSerial(prog *ir.Program, cfg Config, execModel *arch.Model, opts Com
 		if m.Fn == nil {
 			continue
 		}
-		if err := compileFunc(m.Fn, cfg, execModel, res, ob, newLedgerFor(ob, m)); err != nil {
+		if err := compileFunc(m.Fn, cfg, execModel, res, ob, newLedgerFor(ob, m), opts.PassFault); err != nil {
 			return nil, fmt.Errorf("%s: %w", m.QualifiedName(), err)
 		}
 		res.FuncsCompiled++
@@ -220,8 +245,8 @@ func finishProgramStats(prog *ir.Program, res *Result) {
 // compileFunc runs the cfg pipeline on one function body. ledger, when
 // non-nil, was pre-registered by the caller (parallel compilation creates
 // every ledger up front, in method order, so ledger order never depends on
-// worker interleaving).
-func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result, ob *Observer, ledger *obs.Ledger) error {
+// worker interleaving). fault is CompileOptions.PassFault (usually nil).
+func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result, ob *Observer, ledger *obs.Ledger, fault func(method, pass string) string) error {
 	verify := cfg.Verify || envVerify
 	name := f.Name
 	if f.Method != nil {
@@ -242,6 +267,18 @@ func compileFunc(f *ir.Func, cfg Config, execModel *arch.Model, res *Result, ob 
 	for _, p := range pipeline(cfg, execModel) {
 		if ledger != nil {
 			ledger.BeginPass(p.name)
+		}
+		if fault != nil {
+			// Injected faults panic inside runPass's containment boundary,
+			// so they surface as deterministic *PassError values exactly
+			// like organic pass bugs.
+			run, pname := p.run, p.name
+			p.run = func(f *ir.Func, res *Result) {
+				if msg := fault(name, pname); msg != "" {
+					panic(msg)
+				}
+				run(f, res)
+			}
 		}
 		if err := runPass(p, f, res, verify, nil, ob); err != nil {
 			return err

@@ -101,7 +101,7 @@ func compileParallel(prog *ir.Program, cfg Config, execModel *arch.Model, opts C
 				wob = &w
 			}
 			u.res.Config = cfg
-			u.err = compileFunc(u.m.Fn, cfg, execModel, &u.res, wob, u.ledger)
+			u.err = compileFunc(u.m.Fn, cfg, execModel, &u.res, wob, u.ledger, opts.PassFault)
 		}(j, u)
 	}
 	for _, u := range units {

@@ -167,6 +167,9 @@ func (m *Machine) runCf(fn *ir.Func, cf *cFunc, fr *frame, blkID int) (Outcome, 
 	}
 
 	for {
+		if m.Abort != nil && m.Abort.Load() {
+			return Outcome{}, ErrAborted
+		}
 		if mt != nil && mt.tier == tierClosure {
 			mt.budget--
 			if mt.budget <= 0 {
@@ -425,6 +428,16 @@ func (m *Machine) compiled(fn *ir.Func) *cFunc {
 		bare := make([]stepFn, len(pins))
 		for i := range pins {
 			bare[i] = m.compileStep(fn, &pins[i])
+			if c := pins[i].chk; c != nil && pins[i].in.ExcSite {
+				// Governed site counter: mirror the interpreter's per-site
+				// Execs increment. Fusion refuses counter-bearing sites, so
+				// every execution flows through this wrapper.
+				inner := bare[i]
+				bare[i] = func(fr *frame) status {
+					c.Execs++
+					return inner(fr)
+				}
+			}
 		}
 
 		// Accounted steps, with superinstruction fusion. stepAt[i] is the
@@ -1201,6 +1214,11 @@ func (m *Machine) fuseBare(p, q *pInstr) stepFn {
 	if fuseableCmpIf(p, q) {
 		return m.bareCmpIf(p, q)
 	}
+	// Governed site counters never fuse: the per-site Execs increment lives
+	// in the wrapped bare closure (see compiled), which fusion would bypass.
+	if q.chk != nil && q.in.ExcSite {
+		return nil
+	}
 	// Speculation guards never fuse: the guard traps instead of throwing and
 	// must not count as an explicit check, which the fused shapes do.
 	if p.in.Op == ir.OpNullCheck && p.in.SpecGuard == 0 && p.args[0].varIdx >= 0 {
@@ -1373,6 +1391,10 @@ func (m *Machine) bareCmpIf(p, q *pInstr) stepFn {
 func (m *Machine) fuseAccounted(fn *ir.Func, p, q *pInstr) stepFn {
 	if fuseableCmpIf(p, q) {
 		return m.accCmpIf(fn, p, q)
+	}
+	// Governed site counters never fuse (see fuseBare).
+	if q.chk != nil && q.in.ExcSite {
+		return nil
 	}
 	// Speculation guards never fuse (see fuseBare).
 	if p.in.Op == ir.OpNullCheck && p.in.SpecGuard == 0 && p.args[0].varIdx >= 0 {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"trapnull/internal/arch"
 	"trapnull/internal/ir"
@@ -52,8 +53,17 @@ type Machine struct {
 	// facts, so the two engines record identical profiles. Disabled cost:
 	// one nil test per function call and one slice-nil test per block.
 	Profile *obs.ExecProfile
+	// Abort, when non-nil, is polled at block entry by both engines; once it
+	// reads true the call unwinds with ErrAborted. The bench harness sets it
+	// from a deadline goroutine (Options.CellTimeout) so a runaway cell is
+	// cancelled cooperatively instead of hanging the sweep. Disabled cost:
+	// one nil test per block entry.
+	Abort *atomic.Bool
 
 	steps int64
+	// injectedStepFault marks MaxSteps as a chaos-armed engine fault
+	// (InjectStepFault) rather than the runaway guard.
+	injectedStepFault bool
 	// tier, when non-nil, drives tiered adaptive execution (EnableTiering):
 	// per-method promotion interpreter → closure engine → speculative
 	// recompile, and trap-triggered deoptimization. Untiered cost: one nil
@@ -86,6 +96,24 @@ func New(m *arch.Model, prog *ir.Program) *Machine {
 // ErrStepLimit reports that execution exceeded MaxSteps.
 var ErrStepLimit = errors.New("machine: step limit exceeded")
 
+// ErrInjectedFault reports an armed chaos fault (InjectStepFault) firing.
+var ErrInjectedFault = errors.New("machine: injected fault")
+
+// ErrAborted reports that the Abort flag cancelled the call.
+var ErrAborted = errors.New("machine: aborted")
+
+// InjectStepFault arms a deterministic engine fault: execution halts at
+// dynamic step count step with an injected-fault error. It reuses the
+// step-limit choke point both engines share, so the reported fault names the
+// same function at the same count on either engine — the chaos harness diffs
+// exactly that. Steps at or beyond the current MaxSteps are ignored.
+func (m *Machine) InjectStepFault(step int64) {
+	if step > 0 && step < m.MaxSteps {
+		m.MaxSteps = step
+		m.injectedStepFault = true
+	}
+}
+
 // Outcome is the result of a call: a normal value or an exception that
 // escaped the function.
 type Outcome struct {
@@ -112,6 +140,9 @@ func (m *Machine) Call(fn *ir.Func, args ...int64) (Outcome, error) {
 // stepLimitErr is the shared step-limit error; both engines must produce the
 // byte-identical message at the identical dynamic instruction count.
 func (m *Machine) stepLimitErr(fn *ir.Func) error {
+	if m.injectedStepFault {
+		return fmt.Errorf("machine: injected step fault in %s at step %d: %w", fn.Name, m.MaxSteps, ErrInjectedFault)
+	}
 	return fmt.Errorf("machine: %s exceeded %d steps: %w", fn.Name, m.MaxSteps, ErrStepLimit)
 }
 
@@ -163,6 +194,9 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 
 	blk := fn.Entry
 	for {
+		if m.Abort != nil && m.Abort.Load() {
+			return Outcome{}, ErrAborted
+		}
 		if mt != nil && mt.tier == tierInterp {
 			mt.budget--
 			if mt.budget <= 0 {
@@ -188,6 +222,11 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 			m.Stats.Instrs++
 			if in.ExcSite {
 				m.Stats.ImplicitSites++
+				if pin.chk != nil {
+					// Governed machines profile per-site executions; the
+					// cell is nil everywhere else.
+					pin.chk.Execs++
+				}
 			}
 			m.Cycles += m.Arch.Cost(in)
 
@@ -457,7 +496,11 @@ func (m *Machine) load(in *ir.Instr, addr int64) (int64, *raise, error) {
 			return 0, nil, nil
 		}
 		if in.ExcSite {
-			return 0, m.trap(), nil
+			r := m.trap()
+			if m.tier != nil {
+				m.tier.siteTrapped(in)
+			}
+			return 0, r, nil
 		}
 		return 0, nil, fmt.Errorf("machine: unexpected read trap at %s (addr %#x)", in, addr)
 	default:
@@ -477,7 +520,11 @@ func (m *Machine) storeWord(in *ir.Instr, addr, v int64) (*raise, error) {
 			return nil, nil
 		}
 		if in.ExcSite {
-			return m.trap(), nil
+			r := m.trap()
+			if m.tier != nil {
+				m.tier.siteTrapped(in)
+			}
+			return r, nil
 		}
 		return nil, fmt.Errorf("machine: unexpected write trap at %s (addr %#x)", in, addr)
 	default:

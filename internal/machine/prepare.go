@@ -106,6 +106,12 @@ func (m *Machine) prepare(fn *ir.Func) *pFunc {
 			if in.Op == ir.OpNullCheck && m.Profile != nil {
 				pins[i].chk = m.Profile.CheckCounter(in)
 			}
+			if m.tier != nil && m.tier.gov != nil {
+				// Governed machines profile trap sites (and demoted checks)
+				// through canonical per-(method, ordinal) cells that survive
+				// artifact generations; see governor.bind.
+				m.tier.gov.bind(m.tier, fn, &pins[i])
+			}
 		}
 		pf.blocks[b.ID] = pins
 	}

@@ -56,11 +56,24 @@ type TierPolicy struct {
 	// zero-null check may be speculated; below it the profile is too thin to
 	// bet on and the promotion attempt is retried after another T2Blocks.
 	MinCheckExecs int64
+	// SpecRecompileBudget bounds tier-2 speculative recompiles per method
+	// (0 → DefaultSpecRecompileBudget). Each deopt re-arms the promotion
+	// countdown with exponential backoff (T2Blocks doubling per attempt);
+	// once the budget is spent the method parks at tierClosureFinal and the
+	// exhaustion is surfaced in TierReport.BudgetExhausted. Without the
+	// bound a pathological profile — checks that alternate between long
+	// null-free stretches and bursts — can recompile indefinitely.
+	SpecRecompileBudget int
 }
+
+// DefaultSpecRecompileBudget is the per-method tier-2 recompile bound
+// applied when TierPolicy.SpecRecompileBudget is zero.
+const DefaultSpecRecompileBudget = 8
 
 // DefaultTierPolicy returns the thresholds the bench harness uses.
 func DefaultTierPolicy() TierPolicy {
-	return TierPolicy{T1Blocks: 2048, T2Blocks: 8192, MinCheckExecs: 64}
+	return TierPolicy{T1Blocks: 2048, T2Blocks: 8192, MinCheckExecs: 64,
+		SpecRecompileBudget: DefaultSpecRecompileBudget}
 }
 
 // SpecCompiler compiles the machine's source program under a speculation
@@ -85,11 +98,16 @@ const (
 type methodTier struct {
 	name   string
 	tier   tierLevel
-	budget int64 // block entries remaining until the next promotion attempt
+	budget int64    // block entries remaining until the next promotion attempt
 	fn0    *ir.Func // conservative artifact (the program's Method.Fn)
 	fn2    *ir.Func // speculative artifact body; nil below tier 2
 	cf2    *cFunc
 	spec   []int // ordinals speculated in fn2
+	// specAttempts counts tier-2 speculative recompiles; capped by
+	// TierPolicy.SpecRecompileBudget with exponential deopt backoff.
+	specAttempts int
+	// exhausted marks the method parked by a spent recompile budget.
+	exhausted bool
 }
 
 // TierEvent is one promotion/deoptimization, in occurrence order.
@@ -106,6 +124,9 @@ type TierReport struct {
 	Deopts      int
 	SpecLive    int // methods currently at tier 2
 	CompileHost time.Duration
+	// BudgetExhausted lists (sorted) the methods whose tier-2 recompile
+	// budget ran out; they are parked at the closure tier for good.
+	BudgetExhausted []string
 }
 
 // tierController holds the machine's tier ladder. It is created by
@@ -123,6 +144,11 @@ type tierController struct {
 	events      []TierEvent
 	deopts      int
 	compileHost time.Duration
+
+	// gov, when non-nil, is the trap-storm governor (EnableGovernor):
+	// per-site trap-rate monitoring with implicit→explicit demotion. See
+	// governor.go.
+	gov *governor
 }
 
 // EnableTiering switches the machine to tiered adaptive execution. compile
@@ -149,7 +175,11 @@ func (m *Machine) TierReport() TierReport {
 		if mt.tier == tierSpec {
 			r.SpecLive++
 		}
+		if mt.exhausted {
+			r.BudgetExhausted = append(r.BudgetExhausted, mt.name)
+		}
 	}
+	sort.Strings(r.BudgetExhausted)
 	return r
 }
 
@@ -179,11 +209,27 @@ func (t *tierController) rebuild() {
 // reset invalidates all tier state. ResetPrepared calls it so triage
 // bisection replays — which swap Method.Fn values between Calls — can never
 // dispatch through a stale speculative closure of the previous generation.
-func (t *tierController) reset() { t.rebuild() }
+// Governor site bindings are dropped with the tier table (they hold
+// methodTier pointers); the demote set and policy state survive, matching
+// the monotone-demotion contract.
+func (t *tierController) reset() {
+	t.rebuild()
+	if t.gov != nil {
+		t.gov.refs = make(map[*ir.Instr]*govSite)
+	}
+}
 
 // stateOf returns fn's tier state, or nil for bodies outside the program
 // (bare test functions). One map lookup per call; never on the block path.
 func (t *tierController) stateOf(fn *ir.Func) *methodTier { return t.byFn[fn] }
+
+// specBudget returns the effective per-method tier-2 recompile bound.
+func (t *tierController) specBudget() int {
+	if t.policy.SpecRecompileBudget > 0 {
+		return t.policy.SpecRecompileBudget
+	}
+	return DefaultSpecRecompileBudget
+}
 
 // tierInvoke dispatches one call through the tier table. The tier chooses
 // the artifact and engine; all rungs are observationally identical, so this
@@ -269,6 +315,15 @@ func (t *tierController) specMask(promoting *methodTier, cand []int) map[string]
 // countdown (profile still too thin) or parks the method at
 // tierClosureFinal (nothing left to speculate, or the recompile failed).
 func (t *tierController) promoteT2(mt *methodTier) (*ir.Func, *cFunc) {
+	if mt.specAttempts >= t.specBudget() {
+		// Recompile budget spent: park for good and surface the exhaustion.
+		mt.tier = tierClosureFinal
+		if !mt.exhausted {
+			mt.exhausted = true
+			t.events = append(t.events, TierEvent{Method: mt.name, Kind: "spec-budget-exhausted", Check: -1})
+		}
+		return nil, nil
+	}
 	cand, thin := t.candidates(mt)
 	if len(cand) == 0 {
 		if thin {
@@ -278,6 +333,7 @@ func (t *tierController) promoteT2(mt *methodTier) (*ir.Func, *cFunc) {
 		}
 		return nil, nil
 	}
+	mt.specAttempts++
 	start := time.Now()
 	prog2, err := t.compile(t.specMask(mt, cand))
 	t.compileHost += time.Since(start)
@@ -357,7 +413,15 @@ func (t *tierController) deopted(fn *ir.Func, in *ir.Instr, fr *frame) {
 	}
 	t.deopts++
 	mt.tier = tierClosure
-	mt.budget = t.policy.T2Blocks
+	// Exponential backoff: each failed speculation doubles the block-entry
+	// countdown before the next recompile attempt, so a flapping profile
+	// converges to the conservative artifact instead of thrashing the
+	// compiler. The budget check in promoteT2 is the hard stop.
+	shift := uint(mt.specAttempts)
+	if shift > 20 {
+		shift = 20
+	}
+	mt.budget = t.policy.T2Blocks << shift
 	mt.fn2, mt.cf2 = nil, nil
 	mt.spec = nil
 	if t.compile != nil {

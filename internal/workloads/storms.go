@@ -1,0 +1,459 @@
+package workloads
+
+import (
+	"fmt"
+
+	"trapnull/internal/faultinject"
+	"trapnull/internal/ir"
+)
+
+// The null-heavy workload family behind the trap-storm governor experiments
+// (internal/machine/governor.go, bench.RunDegradation). Every stormy
+// dereference is a small-offset PutField — a write — so it is an implicit
+// trap candidate on BOTH architecture models (ppc-aix traps writes only),
+// and every kernel also carries a clean write site whose reference comes out
+// of an array each iteration: never null at runtime, but not provably
+// non-null at compile time, so it stays an implicit check that the governor
+// should leave alone. The interesting comparisons are
+//
+//	all-implicit : the stormy site pays a ~5000-cycle trap per null
+//	all-explicit : every site pays the 1–2 cycle check, nulls throw in software
+//	governed     : starts all-implicit, demotes only the stormy site
+//
+// and the degradation table (benchtab -degradation) renders them per model.
+
+// TrapStorm is the canonical governor workload: one stormy write site at a
+// ~10% null rate — two orders of magnitude past the demotion threshold — and
+// one clean implicit write site. An ungoverned implicit configuration pays
+// ~500 cycles of trap dispatch per iteration; explicit checks pay ~2; the
+// governor converges to explicit on the stormy site only, keeping the clean
+// site free. The parameter is the iteration count.
+func TrapStorm() *Workload {
+	return &Workload{
+		Name:  "TrapStorm",
+		Suite: "extension",
+		N:     4000,
+		TestN: 800,
+		Build: buildTrapStorm,
+		Ref:   refTrapStorm,
+	}
+}
+
+// stormCell is the shared object shape: both fields sit inside the 4 KB trap
+// area, so checks guarding writes to them are implicit candidates everywhere.
+func stormCell(p *ir.Program) *ir.Class {
+	return p.NewClass("Cell",
+		&ir.Field{Name: "f", Kind: ir.KindInt},
+		&ir.Field{Name: "g", Kind: ir.KindInt},
+	)
+}
+
+// stormEntry emits the common preamble: a Cell in a one-element holder array
+// (the clean site's reference is reloaded from it every iteration, defeating
+// static non-null proofs) plus a direct Cell for the stormy reference to
+// alias.
+func stormEntry(b *ir.Builder, cls *ir.Class) (holder, obj ir.VarID) {
+	holder = b.Local("holder", ir.KindRef)
+	obj = b.Local("obj", ir.KindRef)
+	b.NewArray(holder, ir.ConstInt(1))
+	b.New(obj, cls)
+	b.ArrayStore(holder, ir.ConstInt(0), ir.Var(obj))
+	return holder, obj
+}
+
+func buildTrapStorm() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("TrapStorm")
+	cls := stormCell(p)
+
+	b, n := entry("TrapStorm")
+	holder, obj := stormEntry(b, cls)
+	wr := b.Local("wr", ir.KindRef)
+	ref := b.Local("ref", ir.KindRef)
+	r := b.Local("r", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	exc := b.Local("exc", ir.KindRef)
+	b.Move(r, ir.ConstInt(99))
+	b.Move(s, ir.ConstInt(0))
+
+	f := b.F
+	body := b.DeclareBlock("body")
+	tryBlk := b.DeclareBlock("store")
+	handler := b.DeclareBlock("handler")
+	after := b.DeclareBlock("after")
+	exit := b.DeclareBlock("exit")
+	region := f.NewRegion(handler, exc)
+	tryBlk.Try = region.ID
+
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	// Clean implicit site: wr comes out of the holder fresh each iteration,
+	// is never null, and the governor must leave its check implicit.
+	b.ArrayLoad(wr, holder, ir.ConstInt(0))
+	b.PutField(wr, cls.FieldByName("g"), ir.Var(i))
+	// Stormy site setup: ~10% of iterations pick null.
+	lcgNext(b, r)
+	t := b.Temp(ir.KindInt)
+	b.Binop(ir.OpRem, t, ir.Var(r), ir.ConstInt(1000))
+	pickNull := b.DeclareBlock("pick_null")
+	pickObj := b.DeclareBlock("pick_obj")
+	b.If(ir.CondLT, ir.Var(t), ir.ConstInt(100), pickNull, pickObj)
+	b.SetBlock(pickNull)
+	b.Move(ref, ir.Null())
+	b.Jump(tryBlk)
+	b.SetBlock(pickObj)
+	b.Move(ref, ir.Var(obj))
+	b.Jump(tryBlk)
+
+	b.SetBlock(tryBlk)
+	b.PutField(ref, cls.FieldByName("f"), ir.Var(i))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(2))
+	b.Jump(after)
+
+	b.SetBlock(handler)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(1))
+	b.Jump(after)
+
+	b.SetBlock(after)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+
+	b.SetBlock(exit)
+	// Fold the last successful write into the checksum so lost stores show.
+	v := b.Temp(ir.KindInt)
+	b.GetField(v, obj, cls.FieldByName("f"))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.Var(v))
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refTrapStorm(n int64) int64 {
+	r, s, last := int64(99), int64(0), int64(0)
+	for i := int64(0); i < n; i++ {
+		r = lcgNextGo(r)
+		if r%1000 < 100 {
+			s++
+		} else {
+			s += 2
+			last = i
+		}
+	}
+	return s + last
+}
+
+// FlappingNull is the governor's thrash adversary: two stormy write sites
+// whose null phases alternate in 256-iteration windows — site A storms in
+// even windows, site B in odd ones — so a naive reactive policy flips back
+// and forth forever. The monotone demote set plus exponential backoff must
+// converge anyway, with the exact ungoverned Outcome. The parameter is the
+// iteration count.
+func FlappingNull() *Workload {
+	return &Workload{
+		Name:  "FlappingNull",
+		Suite: "extension",
+		N:     4000,
+		TestN: 800,
+		Build: buildFlappingNull,
+		Ref:   refFlappingNull,
+	}
+}
+
+const flapWindow = 256
+
+func buildFlappingNull() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("FlappingNull")
+	cls := stormCell(p)
+
+	b, n := entry("FlappingNull")
+	holder, obj := stormEntry(b, cls)
+	wr := b.Local("wr", ir.KindRef)
+	refA := b.Local("refA", ir.KindRef)
+	refB := b.Local("refB", ir.KindRef)
+	r := b.Local("r", ir.KindInt)
+	ph := b.Local("ph", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	exc1 := b.Local("exc1", ir.KindRef)
+	exc2 := b.Local("exc2", ir.KindRef)
+	b.Move(r, ir.ConstInt(7))
+	b.Move(s, ir.ConstInt(0))
+
+	f := b.F
+	body := b.DeclareBlock("body")
+	try1 := b.DeclareBlock("store_a")
+	h1 := b.DeclareBlock("handler_a")
+	try2 := b.DeclareBlock("store_b")
+	h2 := b.DeclareBlock("handler_b")
+	after := b.DeclareBlock("after")
+	exit := b.DeclareBlock("exit")
+	r1 := f.NewRegion(h1, exc1)
+	try1.Try = r1.ID
+	r2 := f.NewRegion(h2, exc2)
+	try2.Try = r2.ID
+
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	b.ArrayLoad(wr, holder, ir.ConstInt(0))
+	b.PutField(wr, cls.FieldByName("g"), ir.Var(i))
+	lcgNext(b, r)
+	t := b.Temp(ir.KindInt)
+	b.Binop(ir.OpRem, t, ir.Var(r), ir.ConstInt(1000))
+	// ph = (i / flapWindow) % 2 selects which site storms this window.
+	b.Binop(ir.OpDiv, ph, ir.Var(i), ir.ConstInt(flapWindow))
+	b.Binop(ir.OpRem, ph, ir.Var(ph), ir.ConstInt(2))
+	b.Move(refA, ir.Var(obj))
+	b.Move(refB, ir.Var(obj))
+	ifThen(b, ir.CondLT, ir.Var(t), ir.ConstInt(200), func() {
+		ifThenElse(b, ir.CondEQ, ir.Var(ph), ir.ConstInt(0),
+			func() { b.Move(refA, ir.Null()) },
+			func() { b.Move(refB, ir.Null()) })
+	})
+	b.Jump(try1)
+
+	b.SetBlock(try1)
+	b.PutField(refA, cls.FieldByName("f"), ir.Var(i))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(2))
+	b.Jump(try2)
+	b.SetBlock(h1)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(1))
+	b.Jump(try2)
+
+	b.SetBlock(try2)
+	b.PutField(refB, cls.FieldByName("f"), ir.Var(i))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(5))
+	b.Jump(after)
+	b.SetBlock(h2)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(3))
+	b.Jump(after)
+
+	b.SetBlock(after)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refFlappingNull(n int64) int64 {
+	r, s := int64(7), int64(0)
+	for i := int64(0); i < n; i++ {
+		r = lcgNextGo(r)
+		aNull, bNull := false, false
+		if r%1000 < 200 {
+			if (i/flapWindow)%2 == 0 {
+				aNull = true
+			} else {
+				bNull = true
+			}
+		}
+		if aNull {
+			s++
+		} else {
+			s += 2
+		}
+		if bNull {
+			s += 3
+		} else {
+			s += 5
+		}
+	}
+	return s
+}
+
+// PhaseShiftNull is the profile-betrayal storm: the stormy site is perfectly
+// clean for the first 3n/5 iterations — long enough for any warmup heuristic
+// to trust it — then jumps to a ~15% null rate. The governor's demotion must
+// trigger mid-run, strictly after the profile turns. The parameter is the
+// iteration count.
+func PhaseShiftNull() *Workload {
+	return &Workload{
+		Name:  "PhaseShiftNull",
+		Suite: "extension",
+		N:     5000,
+		TestN: 1000,
+		Build: buildPhaseShiftNull,
+		Ref:   refPhaseShiftNull,
+	}
+}
+
+func buildPhaseShiftNull() (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("PhaseShiftNull")
+	cls := stormCell(p)
+
+	b, n := entry("PhaseShiftNull")
+	holder, obj := stormEntry(b, cls)
+	wr := b.Local("wr", ir.KindRef)
+	ref := b.Local("ref", ir.KindRef)
+	r := b.Local("r", ir.KindInt)
+	shift := b.Local("shift", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	exc := b.Local("exc", ir.KindRef)
+	b.Move(r, ir.ConstInt(1234))
+	b.Move(s, ir.ConstInt(0))
+	b.Binop(ir.OpMul, shift, ir.Var(n), ir.ConstInt(3))
+	b.Binop(ir.OpDiv, shift, ir.Var(shift), ir.ConstInt(5))
+
+	f := b.F
+	body := b.DeclareBlock("body")
+	tryBlk := b.DeclareBlock("store")
+	handler := b.DeclareBlock("handler")
+	after := b.DeclareBlock("after")
+	exit := b.DeclareBlock("exit")
+	region := f.NewRegion(handler, exc)
+	tryBlk.Try = region.ID
+
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	b.ArrayLoad(wr, holder, ir.ConstInt(0))
+	b.PutField(wr, cls.FieldByName("g"), ir.Var(i))
+	lcgNext(b, r)
+	b.Move(ref, ir.Var(obj))
+	ifThen(b, ir.CondGE, ir.Var(i), ir.Var(shift), func() {
+		t := b.Temp(ir.KindInt)
+		b.Binop(ir.OpRem, t, ir.Var(r), ir.ConstInt(1000))
+		ifThen(b, ir.CondLT, ir.Var(t), ir.ConstInt(150), func() {
+			b.Move(ref, ir.Null())
+		})
+	})
+	b.Jump(tryBlk)
+
+	b.SetBlock(tryBlk)
+	b.PutField(ref, cls.FieldByName("f"), ir.Var(i))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(2))
+	b.Jump(after)
+
+	b.SetBlock(handler)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(1))
+	b.Jump(after)
+
+	b.SetBlock(after)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refPhaseShiftNull(n int64) int64 {
+	r, s := int64(1234), int64(0)
+	shift := n * 3 / 5
+	for i := int64(0); i < n; i++ {
+		r = lcgNextGo(r)
+		if i >= shift && r%1000 < 150 {
+			s++
+		} else {
+			s += 2
+		}
+	}
+	return s
+}
+
+// seededBurstMod is the phase modulus of the seeded burst kernel: null
+// windows repeat every seededBurstMod iterations, so the reference function
+// is exact at every problem size.
+const seededBurstMod = 1024
+
+// SeededBurst derives an adversarial null-burst storm from the
+// fault-injection seed: faultinject.BurstWindows picks disjoint windows over
+// the phase modulus and the kernel bakes them in as constants, so a chaos
+// run's "adversarial input" is as replayable as its injected faults. The
+// parameter is the iteration count.
+func SeededBurst(seed int64) *Workload {
+	name := fmt.Sprintf("SeededBurst[%d]", seed)
+	wins := faultinject.New(seed).BurstWindows(name, seededBurstMod, 3)
+	return &Workload{
+		Name:  name,
+		Suite: "extension",
+		N:     4000,
+		TestN: 800,
+		Build: func() (*ir.Program, *ir.Method) { return buildSeededBurst(name, wins) },
+		Ref:   func(n int64) int64 { return refSeededBurst(wins, n) },
+	}
+}
+
+func buildSeededBurst(name string, wins [][2]int64) (*ir.Program, *ir.Method) {
+	p := ir.NewProgram("SeededBurst")
+	cls := stormCell(p)
+
+	b, n := entry(name)
+	holder, obj := stormEntry(b, cls)
+	wr := b.Local("wr", ir.KindRef)
+	ref := b.Local("ref", ir.KindRef)
+	ph := b.Local("ph", ir.KindInt)
+	i := b.Local("i", ir.KindInt)
+	s := b.Local("s", ir.KindInt)
+	exc := b.Local("exc", ir.KindRef)
+	b.Move(s, ir.ConstInt(0))
+
+	f := b.F
+	body := b.DeclareBlock("body")
+	tryBlk := b.DeclareBlock("store")
+	handler := b.DeclareBlock("handler")
+	after := b.DeclareBlock("after")
+	exit := b.DeclareBlock("exit")
+	region := f.NewRegion(handler, exc)
+	tryBlk.Try = region.ID
+
+	b.Move(i, ir.ConstInt(0))
+	b.Jump(body)
+
+	b.SetBlock(body)
+	b.ArrayLoad(wr, holder, ir.ConstInt(0))
+	b.PutField(wr, cls.FieldByName("g"), ir.Var(i))
+	b.Binop(ir.OpRem, ph, ir.Var(i), ir.ConstInt(seededBurstMod))
+	b.Move(ref, ir.Var(obj))
+	for _, w := range wins {
+		lo, hi := w[0], w[0]+w[1]
+		ifThen(b, ir.CondGE, ir.Var(ph), ir.ConstInt(lo), func() {
+			ifThen(b, ir.CondLT, ir.Var(ph), ir.ConstInt(hi), func() {
+				b.Move(ref, ir.Null())
+			})
+		})
+	}
+	b.Jump(tryBlk)
+
+	b.SetBlock(tryBlk)
+	b.PutField(ref, cls.FieldByName("f"), ir.Var(i))
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(2))
+	b.Jump(after)
+
+	b.SetBlock(handler)
+	b.Binop(ir.OpAdd, s, ir.Var(s), ir.ConstInt(1))
+	b.Jump(after)
+
+	b.SetBlock(after)
+	b.Binop(ir.OpAdd, i, ir.Var(i), ir.ConstInt(1))
+	b.If(ir.CondLT, ir.Var(i), ir.Var(n), body, exit)
+
+	b.SetBlock(exit)
+	b.Return(ir.Var(s))
+	return p, register(p, b)
+}
+
+func refSeededBurst(wins [][2]int64, n int64) int64 {
+	s := int64(0)
+	for i := int64(0); i < n; i++ {
+		ph := i % seededBurstMod
+		null := false
+		for _, w := range wins {
+			if ph >= w[0] && ph < w[0]+w[1] {
+				null = true
+			}
+		}
+		if null {
+			s++
+		} else {
+			s += 2
+		}
+	}
+	return s
+}

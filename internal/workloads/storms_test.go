@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"testing"
+
+	"trapnull/internal/arch"
+	"trapnull/internal/ir"
+	"trapnull/internal/jit"
+	"trapnull/internal/machine"
+	"trapnull/internal/rt"
+)
+
+// TestStormsMatchReference pins every storm kernel to its Go reference on
+// both architecture models and at off-by-prime sizes, under the full
+// implicit-check configurations — the exact shapes the governor runs on.
+func TestStormsMatchReference(t *testing.T) {
+	models := []struct {
+		model *arch.Model
+		cfg   jit.Config
+	}{
+		{arch.IA32Win(), jit.ConfigPhase1Phase2()},
+		{arch.PPCAIX(), jit.ConfigAIXWriteImplicit()},
+	}
+	for _, w := range []*Workload{TrapStorm(), FlappingNull(), PhaseShiftNull(), SeededBurst(7)} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for _, mc := range models {
+				for _, n := range []int64{w.TestN, w.TestN + 7} {
+					prog, entryM := w.Build()
+					if _, err := jit.CompileProgram(prog, mc.cfg, mc.model); err != nil {
+						t.Fatalf("%s n=%d: compile: %v", mc.model.Name, n, err)
+					}
+					m := machine.New(mc.model, prog)
+					out, err := m.Call(entryM.Fn, n)
+					if err != nil {
+						t.Fatalf("%s n=%d: %v", mc.model.Name, n, err)
+					}
+					if out.Exc != rt.ExcNone {
+						t.Fatalf("%s n=%d: exception %v", mc.model.Name, n, out.Exc)
+					}
+					if want := w.Ref(n); out.Value != want {
+						t.Fatalf("%s n=%d: checksum %d, want %d", mc.model.Name, n, out.Value, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStormyKernelsTrapOnBothModels: the stormy sites are writes, so under
+// the implicit configurations they must actually trap on ppc-aix (which
+// converts writes only) as well as ia32 — otherwise the degradation tables
+// would compare nothing.
+func TestStormyKernelsTrapOnBothModels(t *testing.T) {
+	cases := []struct {
+		model *arch.Model
+		cfg   jit.Config
+	}{
+		{arch.IA32Win(), jit.ConfigPhase1Phase2()},
+		{arch.PPCAIX(), jit.ConfigAIXWriteImplicit()},
+	}
+	for _, mc := range cases {
+		w := TrapStorm()
+		prog, entryM := w.Build()
+		if _, err := jit.CompileProgram(prog, mc.cfg, mc.model); err != nil {
+			t.Fatalf("%s: %v", mc.model.Name, err)
+		}
+		m := machine.New(mc.model, prog)
+		if _, err := m.Call(entryM.Fn, w.TestN); err != nil {
+			t.Fatalf("%s: %v", mc.model.Name, err)
+		}
+		if m.Stats.TrapsTaken == 0 {
+			t.Fatalf("%s: TrapStorm fired no hardware traps under the implicit config", mc.model.Name)
+		}
+	}
+}
+
+// TestSeededBurstDeterminism: the same seed bakes identical burst windows —
+// and therefore an identical checksum — into the kernel, while different
+// seeds genuinely vary the adversarial input.
+func TestSeededBurstDeterminism(t *testing.T) {
+	a, b := SeededBurst(42), SeededBurst(42)
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	if av, bv := a.Ref(4000), b.Ref(4000); av != bv {
+		t.Fatalf("same seed, different reference: %d vs %d", av, bv)
+	}
+	if SeededBurst(42).Ref(4000) == SeededBurst(43).Ref(4000) {
+		t.Fatal("distinct seeds produced identical burst schedules (suspicious)")
+	}
+	// The kernel carries null checks like every other workload.
+	if n := opCount(a, ir.OpNullCheck); n < 2 {
+		t.Fatalf("SeededBurst has only %d null checks", n)
+	}
+}

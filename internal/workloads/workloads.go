@@ -69,7 +69,10 @@ func All() []*Workload {
 // stay out of All() so the paper's tables keep their original seventeen
 // rows, but ByName resolves them for the inspection tools.
 func Extensions() []*Workload {
-	return []*Workload{NullStorm(), BigOffsetWalk(), LateNullStorm()}
+	return []*Workload{
+		NullStorm(), BigOffsetWalk(), LateNullStorm(),
+		TrapStorm(), FlappingNull(), PhaseShiftNull(), SeededBurst(1),
+	}
 }
 
 // ByName finds a workload by case-sensitive name, searching the paper's set
