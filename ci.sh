@@ -75,3 +75,37 @@ go test ./internal/faultinject
 # failure).
 go run ./cmd/benchtab -degradation -quick > /dev/null
 go run ./cmd/benchtab -chaos -chaos-seed 7 > /dev/null
+# Telemetry plane gate. The timeline (flight recorder + trap-cost
+# attribution) and the metrics snapshot are deterministic surfaces: two
+# sweeps must render them byte-identical, and the merged Perfetto trace of a
+# tiered sweep must carry the adaptive decisions as instant events.
+tdir="$(mktemp -d -t trapnull-telemetry.XXXXXX)"
+trap 'rm -f "$obs_trace"; rm -rf "$tdir"' EXIT
+go run ./cmd/benchtab -quick -timeline "$tdir/tl1.txt" -metrics "$tdir/mx1.txt" > /dev/null
+go run ./cmd/benchtab -quick -timeline "$tdir/tl2.txt" -metrics "$tdir/mx2.txt" > /dev/null
+cmp "$tdir/tl1.txt" "$tdir/tl2.txt"
+cmp "$tdir/mx1.txt" "$tdir/mx2.txt"
+go run ./cmd/benchtab -tier -quick -trace "$tdir/tier-trace.json" -timeline "$tdir/tier-tl.txt" > /dev/null
+python3 -c "import json,sys; evs=json.load(open(sys.argv[1]))['traceEvents']; inst=[e for e in evs if e.get('ph')=='i']; assert inst, 'tier trace carries no instant (adaptive-decision) events'" "$tdir/tier-trace.json"
+grep -q 'promote-t1' "$tdir/tier-tl.txt"
+TRAPNULL_ENGINE=switch go test -run 'TestTelemetry|TestTieredTelemetry|TestAttributionConservation|TestExecProfileTieredAgree' ./internal/bench
+# Benchdiff regression gate: the current tree's quick sweep must not regress
+# the checked-in baseline (cycles are deterministic, so the tolerance only
+# admits intentional cost-model changes — regenerate BENCH_baseline.json when
+# making one). The gate itself is then proved live by planting a 10% cycle
+# regression into a copy of the sweep and requiring benchdiff to reject it.
+go run ./cmd/benchtab -quick -remarks -json > "$tdir/bench.json"
+go run ./cmd/benchdiff BENCH_baseline.json "$tdir/bench.json"
+python3 -c "
+import json, sys
+d = json.load(open(sys.argv[1]))
+for cells in d['matrices'].values():
+    for c in cells:
+        if 'cycles' in c:
+            c['cycles'] = c['cycles'] * 110 // 100
+json.dump(d, open(sys.argv[2], 'w'))
+" "$tdir/bench.json" "$tdir/bench-perturbed.json"
+if go run ./cmd/benchdiff -quiet BENCH_baseline.json "$tdir/bench-perturbed.json" > /dev/null; then
+    echo "benchdiff failed to catch a planted 10% cycle regression" >&2
+    exit 1
+fi

@@ -18,6 +18,9 @@
 //	benchtab -chaos -chaos-seed 7 # deterministic seeded fault-injection sweep
 //	benchtab -cell-timeout 30s    # per-cell wall-clock deadline -> ERROR(timeout)
 //	benchtab -trace out.json      # Chrome trace of the sweep (Perfetto-viewable)
+//	benchtab -timeline -          # adaptive-decision timeline + trap-cost attribution (- = stdout)
+//	benchtab -metrics -           # deterministic telemetry metrics snapshot (- = stdout)
+//	benchtab -metrics-volatile    # include host-timing metrics in the snapshot
 //	benchtab -remarks             # per-config null check fate histograms
 //	benchtab -profile             # hot-block execution profile per cell
 //	benchtab -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -56,6 +59,9 @@ func main() {
 		cellTO     = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline for the main sweep (0 = none; expired cells render ERROR(timeout))")
 		asJSON     = flag.Bool("json", false, "emit the full report as JSON")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the sweep to this file")
+		timelineTo = flag.String("timeline", "", "write the adaptive-decision timeline (flight recorder + trap-cost attribution) to this file, or - for stdout")
+		metricsTo  = flag.String("metrics", "", "write the telemetry metrics snapshot to this file, or - for stdout")
+		metricsVol = flag.Bool("metrics-volatile", false, "include volatile (host-timing/interleaving) metrics in the -metrics snapshot")
 		remarks    = flag.Bool("remarks", false, "collect null-check fate remarks (adds fate histograms to tables/JSON)")
 		profile    = flag.Bool("profile", false, "profile execution (adds hot-block summaries to tables/JSON)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -103,9 +109,41 @@ func main() {
 		}()
 	}
 
+	// The telemetry plane (shared by every mode): a timeline collecting each
+	// cell's flight-recorder events and trap-cost ledgers, and a metrics
+	// registry totalling the sweep counters. Both render deterministically.
+	var timeline *obs.Timeline
+	if *timelineTo != "" {
+		timeline = obs.NewTimeline()
+	}
+	var metrics *obs.Registry
+	if *metricsTo != "" {
+		metrics = obs.NewRegistry()
+	}
+	emitTelemetry := func() {
+		if timeline != nil {
+			writeOut(*timelineTo, timeline.Render())
+		}
+		if metrics != nil {
+			writeOut(*metricsTo, metrics.RenderText(*metricsVol))
+		}
+	}
+
 	if *tier {
+		var tr *obs.Trace
+		if *traceOut != "" {
+			tr = obs.NewTrace()
+		}
 		trep, sweepErr := bench.RunTieredAll(bench.TierOptions{
-			Quick: *quick, Reps: *tierReps, CompileParallelism: *cparallel})
+			Quick: *quick, Reps: *tierReps, CompileParallelism: *cparallel,
+			Timeline: timeline, Trace: tr, Metrics: metrics})
+		if tr != nil {
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchtab: wrote %d trace events to %s\n", len(tr.Events()), *traceOut)
+		}
 		if *asJSON {
 			data, err := trep.JSON()
 			if err != nil {
@@ -116,13 +154,15 @@ func main() {
 		} else {
 			fmt.Print(trep.Render())
 		}
+		emitTelemetry()
 		failOn(sweepErr)
 		return
 	}
 
 	if *degrade {
 		drep, sweepErr := bench.RunDegradationAll(bench.DegradationOptions{
-			Quick: *quick, Reps: *degReps, CompileParallelism: *cparallel})
+			Quick: *quick, Reps: *degReps, CompileParallelism: *cparallel,
+			Timeline: timeline, Metrics: metrics})
 		if *asJSON {
 			data, err := drep.JSON()
 			if err != nil {
@@ -133,6 +173,7 @@ func main() {
 		} else {
 			fmt.Print(drep.Render())
 		}
+		emitTelemetry()
 		failOn(sweepErr)
 		return
 	}
@@ -142,8 +183,10 @@ func main() {
 		// deterministic ERROR(...) cells inside the report. Only a fault the
 		// schedule did not arm fails the run.
 		crep, chaosErr := bench.RunChaos(*chaosSeed, bench.ChaosOptions{
-			Parallelism: *parallel, CellTimeout: *cellTO, CompileParallelism: *cparallel})
+			Parallelism: *parallel, CellTimeout: *cellTO, CompileParallelism: *cparallel,
+			Timeline: timeline, Metrics: metrics})
 		fmt.Print(crep.Render())
+		emitTelemetry()
 		failOn(chaosErr)
 		return
 	}
@@ -180,7 +223,8 @@ func main() {
 
 	opts := bench.Options{Quick: *quick, CompileReps: *reps, Parallelism: *parallel,
 		CompileCache: cacheSetting, CompileParallelism: *cparallel,
-		Remarks: *remarks, Profile: *profile, CellTimeout: *cellTO}
+		Remarks: *remarks, Profile: *profile, CellTimeout: *cellTO,
+		Timeline: timeline, Metrics: metrics}
 	var tr *obs.Trace
 	if *traceOut != "" {
 		tr = obs.NewTrace()
@@ -203,6 +247,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(string(data))
+		emitTelemetry()
 		failOn(sweepErr)
 		return
 	}
@@ -233,7 +278,20 @@ func main() {
 	if *profile {
 		fmt.Print(rep.ProfileTables())
 	}
+	emitTelemetry()
 	failOn(sweepErr)
+}
+
+// writeOut writes a telemetry rendering to a file, or stdout for "-".
+func writeOut(path, content string) {
+	if path == "-" {
+		fmt.Print(content)
+		return
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // failOn reports a sweep failure after the (partial) results have been

@@ -81,6 +81,8 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON (pass spans + execution) to this file")
 		remarks  = flag.Bool("remarks", false, "print the per-method null check fate ledger")
 		profile  = flag.Bool("profile", false, "print the hot-block execution profile")
+		timeline = flag.Bool("timeline", false, "print the adaptive-decision timeline and per-trap-site cycle attribution")
+		metrics  = flag.Bool("metrics", false, "print the deterministic telemetry metrics snapshot")
 		tier     = flag.Bool("tier", false, "run tiered adaptive execution (interpreter -> closure -> speculative) and print the promotion/deopt event log")
 		tierReps = flag.Int("tier-reps", 4, "invocations of the tiered run; the last is steady state")
 	)
@@ -109,7 +111,7 @@ func main() {
 		if *file != "" {
 			fail(fmt.Errorf("-tier needs a rebuildable program; use -workload, not -file"))
 		}
-		runTiered(*wname, cfg, model, *n, *tierReps)
+		runTiered(*wname, cfg, model, *n, *tierReps, *timeline)
 		return
 	}
 
@@ -188,6 +190,12 @@ func main() {
 		execProf = obs.NewExecProfile()
 		m.Profile = execProf
 	}
+	var rec *obs.Recorder
+	if *timeline {
+		rec = obs.NewRecorder(0)
+		m.Recorder = rec
+		m.EnableAttribution()
+	}
 	var out machine.Outcome
 	execStart := time.Now()
 	if entryFn.NumParams > 0 {
@@ -244,13 +252,48 @@ func main() {
 		sum.Render(&sb)
 		fmt.Print(sb.String())
 	}
+	if *timeline {
+		tl := obs.NewTimeline()
+		tl.Add(label, rec, m.CycleAttribution())
+		fmt.Print(tl.Render())
+	}
+	if *metrics {
+		fmt.Print(runMetrics(m, res).RenderText(false))
+	}
+}
+
+// runMetrics builds the single-run metrics snapshot: the engine's dynamic
+// counters, the compilation's static check statistics, and — when the
+// machine carried attribution — the four-bucket cycle ledger.
+func runMetrics(m *machine.Machine, res *jit.Result) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Counter("engine.instrs", "dynamic instructions executed").Add(m.Stats.Instrs)
+	reg.Counter("engine.explicit_checks", "explicit null check instructions executed").Add(m.Stats.ExplicitChecks)
+	reg.Counter("engine.implicit_sites", "dereferences executed at implicit-check sites").Add(m.Stats.ImplicitSites)
+	reg.Counter("engine.bound_checks", "dynamic array bound checks").Add(m.Stats.BoundChecks)
+	reg.Counter("engine.loads", "dynamic loads").Add(m.Stats.Loads)
+	reg.Counter("engine.stores", "dynamic stores").Add(m.Stats.Stores)
+	reg.Counter("engine.calls", "dynamic calls").Add(m.Stats.Calls)
+	reg.Counter("engine.traps_taken", "hardware traps that became NPEs").Add(m.Stats.TrapsTaken)
+	reg.Counter("engine.thrown_software", "exceptions raised by explicit checks").Add(m.Stats.ThrownSoftware)
+	reg.Counter("engine.cycles", "simulated cycles").Add(m.Cycles)
+	reg.Counter("static.implicit", "checks compiled to implicit trap sites").Add(int64(res.Checks.Implicit))
+	reg.Counter("static.explicit_left", "explicit checks surviving compilation").Add(int64(res.Checks.ExplicitRemaining))
+	reg.Counter("static.eliminated", "checks eliminated at compile time").Add(int64(res.Checks.Eliminated))
+	if a := m.CycleAttribution(); a != nil {
+		reg.Counter("attr.implicit_cycles", "cycles attributed to implicit-check sites").Add(a.ImplicitCycles)
+		reg.Counter("attr.explicit_cycles", "cycles attributed to explicit checks").Add(a.ExplicitCycles)
+		reg.Counter("attr.trap_cycles", "cycles attributed to trap dispatch").Add(a.TrapCycles)
+		reg.Counter("attr.guard_free_cycles", "cycles outside any null-check machinery").Add(a.GuardFree)
+	}
+	return reg
 }
 
 // runTiered executes one workload on a tiered machine — full ladder, with a
 // speculative recompiler wired through a compile cache — and prints the
 // per-invocation cycle deltas, the promotion/deopt event log, and the
 // speculation blacklist. The checksum is verified on every invocation.
-func runTiered(wname string, cfg jit.Config, model *arch.Model, n int64, reps int) {
+func runTiered(wname string, cfg jit.Config, model *arch.Model, n int64, reps int, timeline bool) {
 	w, err := workloads.ByName(wname)
 	fail(err)
 	size := n
@@ -288,6 +331,11 @@ func runTiered(wname string, cfg jit.Config, model *arch.Model, n int64, reps in
 	}
 
 	m := machine.New(model, prog)
+	var rec *obs.Recorder
+	if timeline {
+		rec = obs.NewRecorder(0)
+		m.Recorder = rec
+	}
 	m.EnableTiering(machine.DefaultTierPolicy(), compile)
 
 	fmt.Printf("program     %s (n=%d) on %s under %s, tiered (%d invocations)\n",
@@ -321,6 +369,11 @@ func runTiered(wname string, cfg jit.Config, model *arch.Model, n int64, reps in
 	}
 	for name, ords := range m.Blacklisted() {
 		fmt.Printf("blacklist   %s: checks %v\n", name, ords)
+	}
+	if timeline {
+		tl := obs.NewTimeline()
+		tl.Add(w.Name+"/tiered", rec, nil)
+		fmt.Print(tl.Render())
 	}
 }
 

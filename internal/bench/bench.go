@@ -53,6 +53,10 @@ type Cell struct {
 	// contract.
 	Fates   *obs.FateCounts
 	Profile *obs.ProfileSummary
+	// Attr is the per-trap-site cycle ledger (implicit / explicit / trap /
+	// guard-free buckets summing exactly to Cycles); nil unless
+	// Options.Timeline. Deterministic like Fates and Profile.
+	Attr *obs.Attribution
 	// remarks backs Fates with the full per-method ledgers (hot-block
 	// overlays and renderers use it); not serialized.
 	remarks *obs.Remarks
@@ -128,6 +132,18 @@ type Options struct {
 	// Cell.Profile (benchtab -profile; JSON profile).
 	Profile bool
 
+	// Timeline, when non-nil, attaches a flight recorder and trap-cost
+	// attribution to every cell's machine and merges each cell's adaptive
+	// events and cycle ledger into it (benchtab -timeline). When Trace is
+	// also set, the recorded events additionally appear as instant markers
+	// on the cell's trace lane.
+	Timeline *obs.Timeline
+	// Metrics, when non-nil, receives the sweep's counters after assembly
+	// (benchtab -metrics): engine, static-check, attribution and cache
+	// totals, published in fixed registration order so the deterministic
+	// snapshot of the same sweep is byte-identical at any parallelism.
+	Metrics *obs.Registry
+
 	// CellTimeout, when positive, bounds each cell's wall-clock measurement
 	// (benchtab -cell-timeout). A cell that exceeds it is cancelled
 	// cooperatively — the machine's abort flag is raised and polled at block
@@ -202,6 +218,9 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 	if opts.CompileReps < 1 {
 		opts.CompileReps = 1
 	}
+	// Pre-register the metric set so the snapshot's order is fixed before
+	// any worker touches a counter.
+	registerSweepMetrics(opts.Metrics)
 	m := &Matrix{
 		Model:     model,
 		Configs:   configs,
@@ -250,6 +269,8 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 	if cache != nil {
 		st := cache.Stats()
 		m.CompileCache = &st
+		publishCacheMetrics(opts.Metrics, st)
+		noteCacheEvents(opts.Timeline, model.Name, cache)
 	}
 
 	// Assemble in declaration order, collecting failures in the same order
@@ -261,6 +282,10 @@ func Run(model *arch.Model, configs []jit.Config, ws []*workloads.Workload, opts
 		for wi, w := range ws {
 			c := cells[ci][wi]
 			row[w.Name] = c
+			// Metrics publish runs here, single-threaded and in declaration
+			// order, so the registry sees the same sequence of adds no
+			// matter how the worker pool interleaved the cells.
+			publishCellMetrics(opts.Metrics, c)
 			if c.Failed() {
 				failures = append(failures, fmt.Sprintf("%s/%s: %s", cfg.Name, w.Name, c.Err))
 			}
@@ -342,6 +367,7 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 	var finalProg *machine.Machine
 	var rem *obs.Remarks
 	var prof *obs.ExecProfile
+	var attr *obs.Attribution
 	var tid int64
 	var cellStart time.Time
 	for rep := 0; rep < opts.CompileReps; rep++ {
@@ -384,26 +410,35 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		if final {
 			mach := machine.New(model, p)
 			mach.Abort = abort
-			if opts.Inject != nil {
-				if step, ok := opts.Inject.StepFault(model.Name + "/" + cellName); ok {
-					mach.InjectStepFault(step)
-				}
-			}
 			if opts.Profile {
 				prof = obs.NewExecProfile()
 				mach.Profile = prof
+			}
+			rec := attachRecorder(opts.Timeline, mach, true)
+			if opts.Inject != nil {
+				if step, ok := opts.Inject.StepFault(model.Name + "/" + cellName); ok {
+					mach.InjectStepFault(step)
+					rec.Record(0, "chaos", "step-fault-arm", cellName, fmt.Sprintf("fires at step %d", step))
+				}
 			}
 			var execStart time.Time
 			if opts.Trace != nil {
 				execStart = time.Now()
 			}
 			out, err := mach.Call(entryM.Fn, n)
+			execDur := time.Since(execStart)
 			if opts.Trace != nil {
 				now := time.Now()
 				opts.Trace.Span(tid, "exec", "run "+cellName, execStart, now.Sub(execStart),
 					map[string]any{"cycles": mach.Cycles, "instrs": mach.Stats.Instrs})
 				opts.Trace.Span(tid, "cell", cellName, cellStart, now.Sub(cellStart), nil)
 			}
+			attr = mach.CycleAttribution()
+			// Publish before the error checks: a cell that errored (an
+			// injected fault, say) still lands its recorded strand in the
+			// timeline — that is what the chaos fire markers are for.
+			publishTimeline(opts.Timeline, opts.Trace, model.Name+"/"+cellName, rec,
+				attr, tid, execStart, execDur, mach.Steps())
 			if err != nil {
 				return errCell(failReason(err))
 			}
@@ -426,6 +461,7 @@ func runOne(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts Optio
 		CompileOther: best.Times.Other,
 		Exec:         finalProg.Stats,
 		Static:       *best,
+		Attr:         attr,
 	}
 	if rem != nil {
 		fc := rem.Totals()
@@ -506,27 +542,33 @@ func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts
 
 	mach := machine.New(model, prog)
 	mach.Abort = abort
-	if opts.Inject != nil {
-		if step, ok := opts.Inject.StepFault(model.Name + "/" + cellName); ok {
-			mach.InjectStepFault(step)
-		}
-	}
 	var prof *obs.ExecProfile
 	if opts.Profile {
 		prof = obs.NewExecProfile()
 		mach.Profile = prof
+	}
+	rec := attachRecorder(opts.Timeline, mach, true)
+	if opts.Inject != nil {
+		if step, ok := opts.Inject.StepFault(model.Name + "/" + cellName); ok {
+			mach.InjectStepFault(step)
+			rec.Record(0, "chaos", "step-fault-arm", cellName, fmt.Sprintf("fires at step %d", step))
+		}
 	}
 	var execStart time.Time
 	if opts.Trace != nil {
 		execStart = time.Now()
 	}
 	out, err := mach.Call(em.Fn, n)
+	execDur := time.Since(execStart)
 	if opts.Trace != nil {
 		now := time.Now()
 		opts.Trace.Span(tid, "exec", "run "+cellName, execStart, now.Sub(execStart),
 			map[string]any{"cycles": mach.Cycles, "instrs": mach.Stats.Instrs})
 		opts.Trace.Span(tid, "cell", cellName, cellStart, now.Sub(cellStart), nil)
 	}
+	attr := mach.CycleAttribution()
+	publishTimeline(opts.Timeline, opts.Trace, model.Name+"/"+cellName, rec,
+		attr, tid, execStart, execDur, mach.Steps())
 	if err != nil {
 		return errCell(failReason(err))
 	}
@@ -546,6 +588,7 @@ func runOneCached(model *arch.Model, cfg jit.Config, w *workloads.Workload, opts
 		CompileOther: entry.Result.Times.Other,
 		Exec:         mach.Stats,
 		Static:       *entry.Result,
+		Attr:         attr,
 	}
 	if opts.Remarks && entry.Remarks != nil {
 		fc := entry.Remarks.Totals()

@@ -8,6 +8,7 @@ import (
 	"trapnull/internal/arch"
 	"trapnull/internal/faultinject"
 	"trapnull/internal/jit"
+	"trapnull/internal/obs"
 	"trapnull/internal/workloads"
 )
 
@@ -40,6 +41,11 @@ type ChaosOptions struct {
 	CellTimeout time.Duration
 	// CompileParallelism is forwarded to jit.CompileOptions.Parallelism.
 	CompileParallelism int
+	// Timeline / Metrics are forwarded to the underlying sweeps: the
+	// timeline collects every cell's chaos arm/fire events (and the cache
+	// fault log as notes), the registry totals the sweep counters.
+	Timeline *obs.Timeline
+	Metrics  *obs.Registry
 }
 
 func (o ChaosOptions) cellTimeout() time.Duration {
@@ -128,6 +134,8 @@ func RunChaos(seed int64, opts ChaosOptions) (*ChaosReport, error) {
 			CompileParallelism: opts.CompileParallelism,
 			CellTimeout:        opts.cellTimeout(),
 			Inject:             inj,
+			Timeline:           opts.Timeline,
+			Metrics:            opts.Metrics,
 		})
 		for _, cfg := range sw.configs {
 			for _, w := range sw.ws {

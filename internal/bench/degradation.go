@@ -8,6 +8,7 @@ import (
 	"trapnull/internal/ir"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
+	"trapnull/internal/obs"
 	"trapnull/internal/rt"
 	"trapnull/internal/workloads"
 )
@@ -50,6 +51,16 @@ type DegradationCell struct {
 	Demotions  int
 	Recompiles int
 	Pinned     int
+	// PinnedMethods lists (sorted) the methods pinned conservative;
+	// SiteExecs/SiteNulls total the governor's canonical per-site profile;
+	// Backoffs counts traps the backoff windows swallowed; Events is the
+	// full demotion decision log in occurrence order. These surface
+	// GovernorReport in benchtab -json.
+	PinnedMethods []string
+	SiteExecs     int64
+	SiteNulls     int64
+	Backoffs      int64
+	Events        []machine.GovernorEvent
 	// Err marks a failed cell; measurement fields are zero.
 	Err string
 }
@@ -70,6 +81,14 @@ type DegradationOptions struct {
 	Governor machine.GovernorPolicy
 	// CompileParallelism is forwarded to jit.CompileOptions.Parallelism.
 	CompileParallelism int
+
+	// Timeline, when non-nil, attaches a flight recorder to every cell's
+	// machine and merges its demotion/backoff/pin events into the timeline;
+	// the static policies (implicit, explicit) additionally carry trap-cost
+	// attribution. Metrics, when non-nil, receives the governor counters
+	// after each cell.
+	Timeline *obs.Timeline
+	Metrics  *obs.Registry
 }
 
 func (o DegradationOptions) reps() int {
@@ -155,6 +174,7 @@ func (m *DegradationMatrix) Cell(policy, workload string) *DegradationCell {
 // RunDegradation sweeps policies × workloads for one model. implicitCfg is
 // the trap-based configuration the implicit and governed rows run on.
 func RunDegradation(model *arch.Model, implicitCfg jit.Config, ws []*workloads.Workload, opts DegradationOptions) (*DegradationMatrix, error) {
+	registerGovernorMetrics(opts.Metrics)
 	m := &DegradationMatrix{
 		Model:     model,
 		Config:    implicitCfg,
@@ -241,6 +261,9 @@ func runDegradationCell(model *arch.Model, implicitCfg jit.Config, w *workloads.
 	}
 
 	mach := machine.New(model, prog)
+	// The flight recorder rides every policy; the static ones additionally
+	// carry trap-cost attribution (governed machines report a nil ledger).
+	rec := attachRecorder(opts.Timeline, mach, policy != "governed")
 	switch policy {
 	case "implicit", "explicit":
 		// Static policies: no governor, whatever the configuration compiled
@@ -250,6 +273,14 @@ func runDegradationCell(model *arch.Model, implicitCfg jit.Config, w *workloads.
 	default:
 		return errCell("unknown policy " + policy)
 	}
+
+	cellName := policy + "/" + w.Name
+	// Publish from a defer so even a failed cell lands its strand.
+	defer func() {
+		if rec != nil {
+			opts.Timeline.Add(model.Name+"/"+cellName, rec, mach.CycleAttribution())
+		}
+	}()
 
 	want := w.Ref(n)
 	var first, last int64
@@ -288,6 +319,14 @@ func runDegradationCell(model *arch.Model, implicitCfg jit.Config, w *workloads.
 	cell.Demotions = grep.Demotions
 	cell.Recompiles = grep.Recompiles
 	cell.Pinned = len(grep.Pinned)
+	cell.PinnedMethods = grep.Pinned
+	cell.SiteExecs = grep.SiteExecs
+	cell.SiteNulls = grep.SiteNulls
+	cell.Backoffs = grep.Backoffs
+	cell.Events = grep.Events
+	publishGovernorMetrics(opts.Metrics, grep)
+	publishCacheMetrics(opts.Metrics, cache.Stats())
+	noteCacheEvents(opts.Timeline, model.Name+"/"+cellName, cache)
 	return cell
 }
 

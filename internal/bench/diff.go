@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// Benchdiff: benchstat-style comparison of two benchtab -json reports, and
+// the regression gate behind cmd/benchdiff and the CI baseline check.
+//
+// The quantities it gates on are SIMULATED and deterministic — cycles, dynamic
+// counters, fate histograms, cache hit rates — so a delta between two runs of
+// the same tree is a bug, and a delta across trees is a real behavioral
+// change. Host compile timings are reported but never gated by default: they
+// are the one noisy column in the JSON.
+
+// DiffOptions tunes the regression gate.
+type DiffOptions struct {
+	// CyclesTolerancePct is how far (percent) a cell's simulated cycles may
+	// rise above the baseline before it gates. Cycles are deterministic, so
+	// the tolerance exists to let intentional minor cost-model adjustments
+	// through, not to absorb noise; CI uses a small value.
+	CyclesTolerancePct float64
+	// HitRateDropPct is how many percentage points a matrix's compile-cache
+	// hit rate may drop before it gates.
+	HitRateDropPct float64
+	// CompileTolerancePct, when > 0, additionally gates on host compile
+	// time (per cell, nullcheck+other µs). Default 0: compile deltas are
+	// reported as notes only — host timing is noisy.
+	CompileTolerancePct float64
+	// StrictFates gates on any check-fate histogram change; otherwise fate
+	// changes are notes.
+	StrictFates bool
+}
+
+// Diff is the comparison result.
+type Diff struct {
+	// Lines is the rendered per-cell comparison in baseline order.
+	Lines []string
+	// Regressions lists the gating failures; empty means the gate passes.
+	Regressions []string
+	// Notes lists non-gating observations (improvements, fate changes,
+	// new cells, compile-time deltas).
+	Notes []string
+}
+
+// Ok reports whether the gate passes.
+func (d *Diff) Ok() bool { return len(d.Regressions) == 0 }
+
+// Render produces the full report text.
+func (d *Diff) Render() string {
+	var b strings.Builder
+	for _, l := range d.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(d.Notes) > 0 {
+		b.WriteString("notes:\n")
+		for _, n := range d.Notes {
+			b.WriteString("  " + n + "\n")
+		}
+	}
+	if len(d.Regressions) > 0 {
+		fmt.Fprintf(&b, "REGRESSIONS (%d):\n", len(d.Regressions))
+		for _, r := range d.Regressions {
+			b.WriteString("  " + r + "\n")
+		}
+	} else {
+		b.WriteString("no regressions\n")
+	}
+	return b.String()
+}
+
+// matrixOrder fixes the rendering order of the report's matrices.
+var matrixOrder = []string{"windows_jbytemark", "windows_specjvm98", "aix_jbytemark", "aix_specjvm98"}
+
+// DiffReports compares two benchtab -json documents (old = baseline,
+// new = candidate) and returns the rendered comparison plus the gating
+// verdict. The comparison walks the baseline's cell order, so the output is
+// deterministic for the same pair of inputs.
+func DiffReports(oldData, newData []byte, opts DiffOptions) (*Diff, error) {
+	var oldRep, newRep jsonReport
+	if err := json.Unmarshal(oldData, &oldRep); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := json.Unmarshal(newData, &newRep); err != nil {
+		return nil, fmt.Errorf("candidate: %w", err)
+	}
+	d := &Diff{}
+
+	names := append([]string(nil), matrixOrder...)
+	for name := range oldRep.Matrices {
+		if !containsStr(names, name) {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		oldCells, inOld := oldRep.Matrices[name]
+		newCells, inNew := newRep.Matrices[name]
+		if !inOld && !inNew {
+			continue
+		}
+		d.Lines = append(d.Lines, "matrix "+name)
+		if !inNew {
+			d.Regressions = append(d.Regressions, name+": matrix missing from candidate")
+			continue
+		}
+		if !inOld {
+			d.Notes = append(d.Notes, name+": matrix new in candidate (no baseline)")
+			continue
+		}
+		index := make(map[string]*jsonCell, len(newCells))
+		for i := range newCells {
+			c := &newCells[i]
+			index[c.Config+"/"+c.Workload] = c
+		}
+		seen := make(map[string]bool, len(oldCells))
+		for i := range oldCells {
+			oc := &oldCells[i]
+			id := oc.Config + "/" + oc.Workload
+			seen[id] = true
+			d.diffCell(name, id, oc, index[id], opts)
+		}
+		for i := range newCells {
+			nc := &newCells[i]
+			id := nc.Config + "/" + nc.Workload
+			if !seen[id] {
+				d.Notes = append(d.Notes, name+"/"+id+": new cell (no baseline)")
+			}
+		}
+	}
+	d.diffCache(oldRep.CompileCache, newRep.CompileCache, opts)
+	return d, nil
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// diffCell compares one baseline cell against its candidate.
+func (d *Diff) diffCell(matrix, id string, oc, nc *jsonCell, opts DiffOptions) {
+	full := matrix + "/" + id
+	switch {
+	case nc == nil:
+		d.Lines = append(d.Lines, fmt.Sprintf("  %-44s MISSING from candidate", id))
+		d.Regressions = append(d.Regressions, full+": cell missing from candidate")
+		return
+	case oc.Error != "" && nc.Error != "":
+		d.Lines = append(d.Lines, fmt.Sprintf("  %-44s ERROR in both (%s | %s)", id, oc.Error, nc.Error))
+		return
+	case nc.Error != "":
+		d.Lines = append(d.Lines, fmt.Sprintf("  %-44s ERROR(%s), baseline was healthy", id, nc.Error))
+		d.Regressions = append(d.Regressions, full+": now fails: "+nc.Error)
+		return
+	case oc.Error != "":
+		d.Lines = append(d.Lines, fmt.Sprintf("  %-44s fixed (baseline ERROR(%s))", id, oc.Error))
+		d.Notes = append(d.Notes, full+": baseline error cell now healthy")
+		return
+	}
+
+	deltaPct := 0.0
+	if oc.Cycles != 0 {
+		deltaPct = (float64(nc.Cycles) - float64(oc.Cycles)) / float64(oc.Cycles) * 100
+	}
+	verdict := ""
+	switch {
+	case deltaPct > opts.CyclesTolerancePct:
+		verdict = "  REGRESS"
+		d.Regressions = append(d.Regressions,
+			fmt.Sprintf("%s: cycles %d -> %d (%+.2f%%, tolerance %.2f%%)",
+				full, oc.Cycles, nc.Cycles, deltaPct, opts.CyclesTolerancePct))
+	case nc.Cycles < oc.Cycles:
+		d.Notes = append(d.Notes, fmt.Sprintf("%s: cycles improved %d -> %d (%+.2f%%)",
+			full, oc.Cycles, nc.Cycles, deltaPct))
+	}
+	d.Lines = append(d.Lines, fmt.Sprintf("  %-44s cycles %12d -> %12d  %+7.2f%%%s",
+		id, oc.Cycles, nc.Cycles, deltaPct, verdict))
+
+	// Dynamic counters and static check statistics are deterministic: any
+	// drift is a behavioral change worth a note even when cycles pass.
+	if oc.TrapsTaken != nc.TrapsTaken || oc.ExplicitChecks != nc.ExplicitChecks ||
+		oc.ImplicitSites != nc.ImplicitSites {
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"%s: dynamic checks changed (traps %d->%d, explicit %d->%d, implicit %d->%d)",
+			full, oc.TrapsTaken, nc.TrapsTaken, oc.ExplicitChecks, nc.ExplicitChecks,
+			oc.ImplicitSites, nc.ImplicitSites))
+	}
+	if oc.StaticImplicit != nc.StaticImplicit || oc.StaticExplicit != nc.StaticExplicit ||
+		oc.Eliminated != nc.Eliminated {
+		d.Notes = append(d.Notes, fmt.Sprintf(
+			"%s: static checks changed (implicit %d->%d, explicit-left %d->%d, eliminated %d->%d)",
+			full, oc.StaticImplicit, nc.StaticImplicit, oc.StaticExplicit, nc.StaticExplicit,
+			oc.Eliminated, nc.Eliminated))
+	}
+	if oc.Fates != nil && nc.Fates != nil && !reflect.DeepEqual(oc.Fates, nc.Fates) {
+		msg := full + ": check-fate histogram changed"
+		if opts.StrictFates {
+			d.Regressions = append(d.Regressions, msg)
+		} else {
+			d.Notes = append(d.Notes, msg)
+		}
+	}
+
+	// Host compile time: noisy, so a note unless a tolerance was asked for.
+	oldUS, newUS := oc.CompileNullUS+oc.CompileOtherUS, nc.CompileNullUS+nc.CompileOtherUS
+	if opts.CompileTolerancePct > 0 && oldUS > 0 {
+		cPct := (float64(newUS) - float64(oldUS)) / float64(oldUS) * 100
+		if cPct > opts.CompileTolerancePct {
+			d.Regressions = append(d.Regressions, fmt.Sprintf(
+				"%s: compile time %dus -> %dus (%+.2f%%, tolerance %.2f%%)",
+				full, oldUS, newUS, cPct, opts.CompileTolerancePct))
+		}
+	}
+}
+
+// diffCache compares per-matrix compile-cache hit rates.
+func (d *Diff) diffCache(oldStats, newStats []jsonCacheStats, opts DiffOptions) {
+	byMatrix := make(map[string]jsonCacheStats, len(newStats))
+	for _, st := range newStats {
+		byMatrix[st.Matrix] = st
+	}
+	rate := func(st jsonCacheStats) float64 {
+		if st.Lookups == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(st.Lookups) * 100
+	}
+	for _, ost := range oldStats {
+		nst, ok := byMatrix[ost.Matrix]
+		if !ok {
+			d.Notes = append(d.Notes, ost.Matrix+": cache stats missing from candidate (cache off?)")
+			continue
+		}
+		oldRate, newRate := rate(ost), rate(nst)
+		d.Lines = append(d.Lines, fmt.Sprintf("cache %-28s hit rate %6.2f%% -> %6.2f%%",
+			ost.Matrix, oldRate, newRate))
+		if oldRate-newRate > opts.HitRateDropPct {
+			d.Regressions = append(d.Regressions, fmt.Sprintf(
+				"%s: cache hit rate dropped %.2f%% -> %.2f%% (tolerance %.2fpp)",
+				ost.Matrix, oldRate, newRate, opts.HitRateDropPct))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"trapnull/internal/machine"
 	"trapnull/internal/obs"
 )
 
@@ -32,6 +33,9 @@ type jsonCell struct {
 	// two marshals of the same sweep are byte-identical.
 	Fates   *obs.FateCounts     `json:"check_fates,omitempty"`
 	Profile *obs.ProfileSummary `json:"profile,omitempty"`
+	// TrapCost is the per-trap-site cycle ledger (Options.Timeline); its
+	// buckets sum exactly to Cycles. Omitted when telemetry is off.
+	TrapCost *obs.Attribution `json:"trap_cost,omitempty"`
 	// Error carries the deterministic failure reason of an error cell; the
 	// measurement fields are zero when it is set.
 	Error string `json:"error,omitempty"`
@@ -45,6 +49,9 @@ type jsonCacheStats struct {
 	Hits      int64  `json:"hits"`
 	Misses    int64  `json:"misses"`
 	Evictions int64  `json:"evictions"`
+	// InjectedFaults counts chaos cache faults repaired by recompiling;
+	// omitted when zero so fault-free JSON keeps its pre-chaos shape.
+	InjectedFaults int64 `json:"injected_faults,omitempty"`
 }
 
 // jsonReport is the export shape of a full run.
@@ -68,11 +75,12 @@ func (r *Report) JSON() ([]byte, error) {
 		if m.CompileCache != nil {
 			st := *m.CompileCache
 			out.CompileCache = append(out.CompileCache, jsonCacheStats{
-				Matrix:    name,
-				Lookups:   st.Lookups,
-				Hits:      st.Hits,
-				Misses:    st.Misses,
-				Evictions: st.Evictions,
+				Matrix:         name,
+				Lookups:        st.Lookups,
+				Hits:           st.Hits,
+				Misses:         st.Misses,
+				Evictions:      st.Evictions,
+				InjectedFaults: st.InjectedFaults,
 			})
 		}
 		var cells []jsonCell
@@ -108,6 +116,7 @@ func (r *Report) JSON() ([]byte, error) {
 					Eliminated:     c.Static.Checks.Eliminated,
 					Fates:          c.Fates,
 					Profile:        c.Profile,
+					TrapCost:       c.Attr,
 				})
 			}
 		}
@@ -133,7 +142,12 @@ type jsonTierCell struct {
 	PromotionsT2  int    `json:"promotions_t2"`
 	Deopts        int    `json:"deopts"`
 	SpecLive      int    `json:"spec_live"`
-	Error         string `json:"error,omitempty"`
+	OSREntries    int    `json:"osr_entries"`
+	// BudgetExhausted and Events surface the rest of machine.TierReport:
+	// parked methods (sorted) and the full decision log in occurrence order.
+	BudgetExhausted []string            `json:"budget_exhausted,omitempty"`
+	Events          []machine.TierEvent `json:"events,omitempty"`
+	Error           string              `json:"error,omitempty"`
 }
 
 // jsonTieredReport is the export shape of a tiered run.
@@ -166,17 +180,20 @@ func (r *TieredReport) JSON() ([]byte, error) {
 					continue
 				}
 				cells = append(cells, jsonTierCell{
-					Workload:      c.Workload,
-					Policy:        c.Policy,
-					Reps:          c.Reps,
-					FirstCycles:   c.FirstCycles,
-					SteadyCycles:  c.SteadyCycles,
-					TotalCycles:   c.TotalCycles,
-					CompileToPeak: int64(c.CompileToPeak / time.Microsecond),
-					PromotionsT1:  c.PromotionsT1,
-					PromotionsT2:  c.PromotionsT2,
-					Deopts:        c.Deopts,
-					SpecLive:      c.SpecLive,
+					Workload:        c.Workload,
+					Policy:          c.Policy,
+					Reps:            c.Reps,
+					FirstCycles:     c.FirstCycles,
+					SteadyCycles:    c.SteadyCycles,
+					TotalCycles:     c.TotalCycles,
+					CompileToPeak:   int64(c.CompileToPeak / time.Microsecond),
+					PromotionsT1:    c.PromotionsT1,
+					PromotionsT2:    c.PromotionsT2,
+					Deopts:          c.Deopts,
+					SpecLive:        c.SpecLive,
+					OSREntries:      c.OSREntries,
+					BudgetExhausted: c.BudgetExhausted,
+					Events:          c.Events,
 				})
 			}
 		}
@@ -199,7 +216,15 @@ type jsonDegradationCell struct {
 	Demotions    int    `json:"demotions"`
 	Recompiles   int    `json:"recompiles"`
 	Pinned       int    `json:"pinned"`
-	Error        string `json:"error,omitempty"`
+	// The remaining fields surface machine.GovernorReport: the canonical
+	// per-site profile totals, swallowed-trap count, pinned method names
+	// (sorted) and the full demotion decision log in occurrence order.
+	SiteExecs     int64                   `json:"site_execs"`
+	SiteNulls     int64                   `json:"site_nulls"`
+	Backoffs      int64                   `json:"backoffs"`
+	PinnedMethods []string                `json:"pinned_methods,omitempty"`
+	Events        []machine.GovernorEvent `json:"events,omitempty"`
+	Error         string                  `json:"error,omitempty"`
 }
 
 // jsonDegradationReport is the export shape of a degradation run.
@@ -232,16 +257,21 @@ func (r *DegradationReport) JSON() ([]byte, error) {
 					continue
 				}
 				cells = append(cells, jsonDegradationCell{
-					Workload:     c.Workload,
-					Policy:       c.Policy,
-					Reps:         c.Reps,
-					FirstCycles:  c.FirstCycles,
-					SteadyCycles: c.SteadyCycles,
-					SteadyTraps:  c.SteadyTraps,
-					SteadyChecks: c.SteadyChecks,
-					Demotions:    c.Demotions,
-					Recompiles:   c.Recompiles,
-					Pinned:       c.Pinned,
+					Workload:      c.Workload,
+					Policy:        c.Policy,
+					Reps:          c.Reps,
+					FirstCycles:   c.FirstCycles,
+					SteadyCycles:  c.SteadyCycles,
+					SteadyTraps:   c.SteadyTraps,
+					SteadyChecks:  c.SteadyChecks,
+					Demotions:     c.Demotions,
+					Recompiles:    c.Recompiles,
+					Pinned:        c.Pinned,
+					SiteExecs:     c.SiteExecs,
+					SiteNulls:     c.SiteNulls,
+					Backoffs:      c.Backoffs,
+					PinnedMethods: c.PinnedMethods,
+					Events:        c.Events,
 				})
 			}
 		}

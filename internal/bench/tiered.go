@@ -9,6 +9,7 @@ import (
 	"trapnull/internal/ir"
 	"trapnull/internal/jit"
 	"trapnull/internal/machine"
+	"trapnull/internal/obs"
 	"trapnull/internal/rt"
 	"trapnull/internal/workloads"
 )
@@ -55,6 +56,13 @@ type TierCell struct {
 	PromotionsT2 int
 	Deopts       int
 	SpecLive     int
+	// OSREntries counts mid-invocation hand-offs into freshly promoted
+	// artifacts; BudgetExhausted lists (sorted) the methods parked by the
+	// tier-2 recompile budget; Events is the controller's full decision log
+	// in occurrence order. All three surface TierReport in benchtab -json.
+	OSREntries      int
+	BudgetExhausted []string
+	Events          []machine.TierEvent
 	// Err marks a failed cell (compile error, checksum mismatch, policy
 	// divergence); measurement fields are zero.
 	Err string
@@ -77,6 +85,16 @@ type TierOptions struct {
 	Policy machine.TierPolicy
 	// CompileParallelism is forwarded to jit.CompileOptions.Parallelism.
 	CompileParallelism int
+
+	// Timeline, when non-nil, attaches a flight recorder to every cell's
+	// machine and merges its promotion/deopt/demotion events into the
+	// timeline; the untiered policies (interp, eager) additionally carry
+	// trap-cost attribution. Trace, when non-nil, gives each cell a lane of
+	// per-invocation spans with the recorded events as instant markers.
+	// Metrics, when non-nil, receives the tier counters after each cell.
+	Timeline *obs.Timeline
+	Trace    *obs.Trace
+	Metrics  *obs.Registry
 }
 
 func (o TierOptions) reps() int {
@@ -144,6 +162,7 @@ func (m *TierMatrix) Cell(policy, workload string) *TierCell {
 
 // RunTiered sweeps policies × workloads for one (model, config).
 func RunTiered(model *arch.Model, cfg jit.Config, ws []*workloads.Workload, opts TierOptions) (*TierMatrix, error) {
+	registerTierMetrics(opts.Metrics)
 	m := &TierMatrix{
 		Model:     model,
 		Config:    cfg,
@@ -244,6 +263,10 @@ func runTierCell(model *arch.Model, cfg jit.Config, w *workloads.Workload, polic
 	}
 
 	mach := machine.New(model, prog)
+	// The flight recorder rides every policy; the untiered ones (interp,
+	// eager) additionally carry trap-cost attribution — tiered machines mix
+	// block-aligned generations and report a nil ledger by design.
+	rec := attachRecorder(opts.Timeline, mach, policy == "interp" || policy == "eager")
 	switch policy {
 	case "interp":
 		mach.Engine = machine.EngineSwitch
@@ -264,11 +287,37 @@ func runTierCell(model *arch.Model, cfg jit.Config, w *workloads.Workload, polic
 		return errCell("unknown policy " + policy)
 	}
 
+	cellName := policy + "/" + w.Name
+	var tid int64
+	var cellStart time.Time
+	if opts.Trace != nil {
+		tid = opts.Trace.NextTID()
+		cellStart = time.Now()
+	}
+	var wins []repWindow
+	// Publish from a defer so even a failed cell lands its recorded strand
+	// (and its instant markers) in the timeline.
+	defer func() {
+		publishRepTimeline(opts.Timeline, opts.Trace, model.Name+"/"+cellName, rec,
+			mach.CycleAttribution(), tid, wins)
+		if opts.Trace != nil {
+			opts.Trace.Span(tid, "cell", cellName, cellStart, time.Since(cellStart), nil)
+		}
+	}()
+
 	want := w.Ref(n)
 	var first, last, total int64
 	for rep := 0; rep < reps; rep++ {
 		before := mach.Cycles
+		stepsBefore := mach.Steps()
+		repStart := time.Now()
 		out, err := mach.Call(em.Fn, n)
+		if opts.Trace != nil {
+			dur := time.Since(repStart)
+			opts.Trace.Span(tid, "exec", fmt.Sprintf("%s inv %d", cellName, rep+1), repStart, dur,
+				map[string]any{"cycles": mach.Cycles - before})
+			wins = append(wins, repWindow{repStart, dur, stepsBefore, mach.Steps()})
+		}
 		if err != nil {
 			return errCell(failReason(err))
 		}
@@ -299,6 +348,9 @@ func runTierCell(model *arch.Model, cfg jit.Config, w *workloads.Workload, polic
 	cell.CompileToPeak = compileToPeak
 	cell.Deopts = rep.Deopts
 	cell.SpecLive = rep.SpecLive
+	cell.OSREntries = rep.OSREntries
+	cell.BudgetExhausted = rep.BudgetExhausted
+	cell.Events = rep.Events
 	for _, ev := range rep.Events {
 		switch ev.Kind {
 		case "promote-t1":
@@ -307,6 +359,9 @@ func runTierCell(model *arch.Model, cfg jit.Config, w *workloads.Workload, polic
 			cell.PromotionsT2++
 		}
 	}
+	publishTierMetrics(opts.Metrics, rep)
+	publishCacheMetrics(opts.Metrics, cache.Stats())
+	noteCacheEvents(opts.Timeline, model.Name+"/"+cellName, cache)
 	return cell
 }
 

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash"
 	"math"
+	"sort"
 	"sync"
 
 	"trapnull/internal/arch"
@@ -329,6 +330,20 @@ type CacheStats struct {
 	// by an attached FaultPolicy. Every fired fault is repaired transparently
 	// by recompiling, so it perturbs traffic counters but never outcomes.
 	InjectedFaults int64
+	// SingleFlightWaits counts lookups that blocked on another caller's
+	// in-flight compile. Unlike the hit/miss split (deterministic under
+	// single-flight), this depends on worker interleaving — it feeds the
+	// VOLATILE metrics only, never a deterministic artifact.
+	SingleFlightWaits int64
+}
+
+// CacheEvent is one aggregated cache lifecycle event for the telemetry
+// timeline: how many times Kind happened to Key. Kinds: "evict" (capacity
+// eviction), "fault-evict" and "fault-corrupt" (armed chaos faults firing).
+type CacheEvent struct {
+	Key   string `json:"key"`
+	Kind  string `json:"kind"`
+	Count int64  `json:"count"`
 }
 
 // CacheFaultPolicy injects deterministic cache-slot faults for chaos testing.
@@ -376,6 +391,40 @@ type Cache struct {
 	// at-most-once per key.
 	fault   *CacheFaultPolicy
 	faulted map[CacheKey]bool
+	// evlog aggregates lifecycle events (evictions, fired faults) per
+	// (key ID, kind) for EventLog. Bounded by distinct keys × kinds.
+	evlog map[CacheEvent]int64
+}
+
+// noteEvent aggregates one lifecycle event. Caller holds c.mu.
+func (c *Cache) noteEvent(key CacheKey, kind string) {
+	if c.evlog == nil {
+		c.evlog = make(map[CacheEvent]int64)
+	}
+	c.evlog[CacheEvent{Key: key.ID(), Kind: kind}]++
+}
+
+// EventLog returns the aggregated lifecycle events sorted by (key, kind) —
+// a deterministic digest for the telemetry timeline: which entries were
+// evicted or chaos-faulted, and how often.
+func (c *Cache) EventLog() []CacheEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]CacheEvent, 0, len(c.evlog))
+	for ev, n := range c.evlog {
+		ev.Count = n
+		out = append(out, ev)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
 }
 
 type cacheSlot struct {
@@ -428,6 +477,13 @@ func (c *Cache) GetOrCompile(key CacheKey, needRemarks bool, compile func() (*Ca
 	c.mu.Lock()
 	c.st.Lookups++
 	if s, ok := c.slots[key]; ok {
+		select {
+		case <-s.ready:
+		default:
+			// Another caller's compile is in flight; we are about to block on
+			// it. Interleaving-dependent, so this feeds volatile metrics only.
+			c.st.SingleFlightWaits++
+		}
 		c.mu.Unlock()
 		<-s.ready
 		c.mu.Lock()
@@ -445,6 +501,11 @@ func (c *Cache) GetOrCompile(key CacheKey, needRemarks bool, compile func() (*Ca
 			// poisoned artifact detected and discarded — and this lookup
 			// repairs it by recompiling below. Outcomes are unaffected.
 			c.st.InjectedFaults++
+			if s.armedFault == 1 {
+				c.noteEvent(key, "fault-evict")
+			} else {
+				c.noteEvent(key, "fault-corrupt")
+			}
 			if c.faulted == nil {
 				c.faulted = make(map[CacheKey]bool)
 			}
@@ -539,6 +600,7 @@ func (c *Cache) insert(key CacheKey) {
 		}
 	}
 	c.st.Evictions++
+	c.noteEvent(victim, "evict")
 	c.ring[c.hand] = key
 	c.ref[c.hand] = false
 	c.hand = (c.hand + 1) % c.cap

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -89,6 +90,14 @@ type GovernorReport struct {
 	Recompiles  int // governed recompiles performed
 	Pinned      []string
 	CompileHost time.Duration
+	// SiteExecs/SiteNulls total the canonical per-site profile across every
+	// governed method: how many times marked sites executed and how many of
+	// those executions were null (trapped or explicitly caught).
+	SiteExecs int64
+	SiteNulls int64
+	// Backoffs counts traps the backoff windows swallowed without
+	// evaluating the demotion trigger.
+	Backoffs int64
 }
 
 // govMethod is one method's governor state.
@@ -124,6 +133,7 @@ type governor struct {
 
 	events      []GovernorEvent
 	recompiles  int
+	backoffs    int64
 	compileHost time.Duration
 }
 
@@ -157,13 +167,22 @@ func (m *Machine) GovernorReport() GovernorReport {
 		return GovernorReport{}
 	}
 	g := m.tier.gov
-	r := GovernorReport{Events: g.events, Recompiles: g.recompiles, CompileHost: g.compileHost}
+	r := GovernorReport{Events: g.events, Recompiles: g.recompiles,
+		Backoffs: g.backoffs, CompileHost: g.compileHost}
 	for _, ords := range g.demote {
 		r.Demotions += len(ords)
 	}
 	for name, gm := range g.state {
 		if gm.pinned {
 			r.Pinned = append(r.Pinned, name)
+		}
+	}
+	// Sums over the canonical cells are commutative, so map iteration order
+	// cannot leak into the report.
+	for _, per := range g.cells {
+		for _, c := range per {
+			r.SiteExecs += c.Execs
+			r.SiteNulls += c.Nulls
 		}
 	}
 	sort.Strings(r.Pinned)
@@ -246,6 +265,7 @@ func (g *governor) trigger(t *tierController, ref *govSite) {
 	}
 	if gm.backoff > 0 {
 		gm.backoff--
+		g.backoffs++
 		return
 	}
 	c := ref.cell
@@ -278,10 +298,18 @@ func (g *governor) trigger(t *tierController, ref *govSite) {
 		gm.pinned = true
 		g.events = append(g.events, GovernorEvent{
 			Method: name, Kind: "pin", Site: -1, Demoted: len(g.demote[name])})
+		t.m.Recorder.Record(t.m.steps, "governor", "pin", name,
+			fmt.Sprintf("budget spent: %d sites demoted", len(g.demote[name])))
 	} else {
 		g.addDemote(name, ref.ord)
 		g.events = append(g.events, GovernorEvent{
 			Method: name, Kind: "demote", Site: ref.ord, Demoted: len(g.demote[name])})
+		t.m.Recorder.Record(t.m.steps, "governor", "demote", name,
+			fmt.Sprintf("site %d: %d/%d nulls", ref.ord, c.Nulls, c.Execs))
+	}
+	if gm.backoff > 0 {
+		t.m.Recorder.Record(t.m.steps, "governor", "backoff-armed", name,
+			fmt.Sprintf("swallowing next %d traps", gm.backoff))
 	}
 
 	start := time.Now()
@@ -294,6 +322,7 @@ func (g *governor) trigger(t *tierController, ref *govSite) {
 		gm.pinned = true
 		g.events = append(g.events, GovernorEvent{
 			Method: name, Kind: "recompile-error", Site: -1, Demoted: len(g.demote[name])})
+		t.m.Recorder.Record(t.m.steps, "governor", "recompile-error", name, err.Error())
 		return
 	}
 	g.adopt(t, prog2)
@@ -346,6 +375,10 @@ func (g *governor) adopt(t *tierController, prog2 *ir.Program) {
 			continue
 		}
 		t.byFn[mth.Fn] = mt
+		// Governed generations are block-aligned with their predecessors
+		// (demotion only inserts check instructions at existing sites), so the
+		// block-entry profile keeps accumulating into one box across adoptions.
+		t.m.Profile.BindCounters(mth.Fn, mt.fn0)
 		mt.fn0 = mth.Fn
 		mt.fn2, mt.cf2, mt.spec = nil, nil, nil
 		if mt.tier == tierSpec {

@@ -59,11 +59,21 @@ type Machine struct {
 	// cancelled cooperatively instead of hanging the sweep. Disabled cost:
 	// one nil test per block entry.
 	Abort *atomic.Bool
+	// Recorder, when non-nil, is the flight recorder: the adaptive subsystems
+	// (tier controller, governor, chaos choke point) log their decisions to it
+	// with logical clocks (invocation index + dynamic step). It sits entirely
+	// off the per-instruction hot path — only decision points, which are rare
+	// by construction, touch it. Disabled cost: nil tests at those points.
+	Recorder *obs.Recorder
 
 	steps int64
 	// injectedStepFault marks MaxSteps as a chaos-armed engine fault
 	// (InjectStepFault) rather than the runaway guard.
 	injectedStepFault bool
+	// attrSites, set by EnableAttribution, makes prepare bind per-site
+	// CheckCounts cells at implicit (ExcSite) sites too, so CycleAttribution
+	// can split the run's cycles into per-trap-site buckets afterwards.
+	attrSites bool
 	// tier, when non-nil, drives tiered adaptive execution (EnableTiering):
 	// per-method promotion interpreter → closure engine → speculative
 	// recompile, and trap-triggered deoptimization. Untiered cost: one nil
@@ -128,6 +138,7 @@ func (m *Machine) Call(fn *ir.Func, args ...int64) (Outcome, error) {
 	if len(args) != fn.NumParams {
 		return Outcome{}, fmt.Errorf("machine: %s expects %d args, got %d", fn.Name, fn.NumParams, len(args))
 	}
+	m.Recorder.BeginInvocation()
 	if m.tier != nil {
 		return m.tierInvoke(fn, args, 0)
 	}
@@ -141,6 +152,8 @@ func (m *Machine) Call(fn *ir.Func, args ...int64) (Outcome, error) {
 // byte-identical message at the identical dynamic instruction count.
 func (m *Machine) stepLimitErr(fn *ir.Func) error {
 	if m.injectedStepFault {
+		m.Recorder.Record(m.steps, "chaos", "step-fault-fire", fn.Name,
+			fmt.Sprintf("armed at step %d", m.MaxSteps))
 		return fmt.Errorf("machine: injected step fault in %s at step %d: %w", fn.Name, m.MaxSteps, ErrInjectedFault)
 	}
 	return fmt.Errorf("machine: %s exceeded %d steps: %w", fn.Name, m.MaxSteps, ErrStepLimit)
@@ -223,8 +236,8 @@ func (m *Machine) exec(fn *ir.Func, args []int64, depth int) (Outcome, error) {
 			if in.ExcSite {
 				m.Stats.ImplicitSites++
 				if pin.chk != nil {
-					// Governed machines profile per-site executions; the
-					// cell is nil everywhere else.
+					// Governed and attribution-enabled machines profile
+					// per-site executions; the cell is nil everywhere else.
 					pin.chk.Execs++
 				}
 			}
@@ -483,6 +496,28 @@ func (m *Machine) trap() *raise {
 	return &raise{kind: rt.ExcNullPointer, ref: m.Heap.AllocException(rt.ExcNullPointer), hardware: true}
 }
 
+// siteTrap is the shared trap bookkeeping for an implicit-check site: both
+// engines funnel their trap-candidate loads and stores through it, so the
+// governor and the attribution ledger see every hardware trap exactly once.
+// Under a governor the canonical site cell is incremented by siteTrapped;
+// otherwise, when attribution bound a cell at prepare time, the null lands
+// there.
+func (m *Machine) siteTrap(in *ir.Instr) *raise {
+	r := m.trap()
+	if m.tier != nil {
+		m.tier.siteTrapped(in)
+		if m.tier.gov != nil {
+			return r
+		}
+	}
+	if m.attrSites && m.Profile != nil {
+		if c := m.Profile.PeekCheck(in); c != nil {
+			c.Nulls++
+		}
+	}
+	return r
+}
+
 // load performs a memory read with full trap semantics.
 func (m *Machine) load(in *ir.Instr, addr int64) (int64, *raise, error) {
 	switch m.Heap.Classify(addr, m.Arch.TrapAreaBytes) {
@@ -496,11 +531,7 @@ func (m *Machine) load(in *ir.Instr, addr int64) (int64, *raise, error) {
 			return 0, nil, nil
 		}
 		if in.ExcSite {
-			r := m.trap()
-			if m.tier != nil {
-				m.tier.siteTrapped(in)
-			}
-			return 0, r, nil
+			return 0, m.siteTrap(in), nil
 		}
 		return 0, nil, fmt.Errorf("machine: unexpected read trap at %s (addr %#x)", in, addr)
 	default:
@@ -520,11 +551,7 @@ func (m *Machine) storeWord(in *ir.Instr, addr, v int64) (*raise, error) {
 			return nil, nil
 		}
 		if in.ExcSite {
-			r := m.trap()
-			if m.tier != nil {
-				m.tier.siteTrapped(in)
-			}
-			return r, nil
+			return m.siteTrap(in), nil
 		}
 		return nil, fmt.Errorf("machine: unexpected write trap at %s (addr %#x)", in, addr)
 	default:

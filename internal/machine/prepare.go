@@ -106,6 +106,12 @@ func (m *Machine) prepare(fn *ir.Func) *pFunc {
 			if in.Op == ir.OpNullCheck && m.Profile != nil {
 				pins[i].chk = m.Profile.CheckCounter(in)
 			}
+			if m.attrSites && in.ExcSite && m.Profile != nil {
+				// Attribution counts executions at implicit sites too; the
+				// governor bind below overrides with its canonical cell when
+				// both are somehow enabled, so traps are never double-counted.
+				pins[i].chk = m.Profile.CheckCounter(in)
+			}
 			if m.tier != nil && m.tier.gov != nil {
 				// Governed machines profile trap sites (and demoted checks)
 				// through canonical per-(method, ordinal) cells that survive

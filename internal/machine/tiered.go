@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -124,6 +125,9 @@ type TierReport struct {
 	Deopts      int
 	SpecLive    int // methods currently at tier 2
 	CompileHost time.Duration
+	// OSREntries counts mid-invocation hand-offs into a freshly promoted
+	// artifact (on-stack replacement at tier 0→1 and 1→2).
+	OSREntries int
 	// BudgetExhausted lists (sorted) the methods whose tier-2 recompile
 	// budget ran out; they are parked at the closure tier for good.
 	BudgetExhausted []string
@@ -143,6 +147,7 @@ type tierController struct {
 
 	events      []TierEvent
 	deopts      int
+	osrEntries  int
 	compileHost time.Duration
 
 	// gov, when non-nil, is the trap-storm governor (EnableGovernor):
@@ -170,7 +175,7 @@ func (m *Machine) TierReport() TierReport {
 		return TierReport{}
 	}
 	t := m.tier
-	r := TierReport{Events: t.events, Deopts: t.deopts, CompileHost: t.compileHost}
+	r := TierReport{Events: t.events, Deopts: t.deopts, OSREntries: t.osrEntries, CompileHost: t.compileHost}
 	for _, mt := range t.order {
 		if mt.tier == tierSpec {
 			r.SpecLive++
@@ -267,7 +272,9 @@ func (t *tierController) promoteT1(mt *methodTier) *cFunc {
 	} else {
 		mt.tier = tierClosureFinal
 	}
+	t.osrEntries++
 	t.events = append(t.events, TierEvent{Method: mt.name, Kind: "promote-t1", Check: -1})
+	t.m.Recorder.Record(t.m.steps, "tier", "promote-t1", mt.name, "osr into closure artifact")
 	return cf
 }
 
@@ -321,6 +328,8 @@ func (t *tierController) promoteT2(mt *methodTier) (*ir.Func, *cFunc) {
 		if !mt.exhausted {
 			mt.exhausted = true
 			t.events = append(t.events, TierEvent{Method: mt.name, Kind: "spec-budget-exhausted", Check: -1})
+			t.m.Recorder.Record(t.m.steps, "tier", "spec-budget-exhausted", mt.name,
+				fmt.Sprintf("parked after %d recompiles", mt.specAttempts))
 		}
 		return nil, nil
 	}
@@ -352,7 +361,10 @@ func (t *tierController) promoteT2(mt *methodTier) (*ir.Func, *cFunc) {
 	mt.tier = tierSpec
 	mt.fn2, mt.cf2 = fn2, cf2
 	mt.spec = cand
+	t.osrEntries++
 	t.events = append(t.events, TierEvent{Method: mt.name, Kind: "promote-t2", Check: -1, Specs: len(cand)})
+	t.m.Recorder.Record(t.m.steps, "tier", "promote-t2", mt.name,
+		fmt.Sprintf("%d checks speculated", len(cand)))
 	return fn2, cf2
 }
 
@@ -377,6 +389,10 @@ func (t *tierController) adopt(prog2 *ir.Program, promoting *methodTier) *ir.Fun
 			continue
 		}
 		t.byFn[mth.Fn] = mt
+		// Block-aligned generations share one block-entry counter box, so
+		// the execution profile survives the artifact swap instead of
+		// fragmenting across generations.
+		t.m.Profile.BindCounters(mth.Fn, mt.fn0)
 		checks0 := mt.fn0.NullChecks()
 		for ord, in2 := range mth.Fn.NullChecks() {
 			if ord < len(checks0) {
@@ -434,6 +450,8 @@ func (t *tierController) deopted(fn *ir.Func, in *ir.Instr, fr *frame) {
 		fr.deoptCf = t.m.compiled(mt.fn0)
 	}
 	t.events = append(t.events, TierEvent{Method: mt.name, Kind: "deopt", Check: ord})
+	t.m.Recorder.Record(t.m.steps, "tier", "deopt", mt.name,
+		fmt.Sprintf("guard %d fired: blacklisted, backoff %d blocks", ord, mt.budget))
 }
 
 // Blacklisted returns the blacklisted check ordinals per method, sorted —

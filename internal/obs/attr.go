@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trap-cost attribution: the per-trap-site cycle ledger that makes the
+// paper's cost model directly observable. Each run's total simulated cycles
+// split into four buckets that sum EXACTLY to the reported total:
+//
+//	implicit  — cycles spent executing trap-eligible memory accesses
+//	            (the "free" null checks folded into loads/stores)
+//	explicit  — cycles spent executing compare-and-branch null checks,
+//	            plus the software-throw dispatch for the nulls they caught
+//	trap      — hardware trap dispatch: TrapsTaken × TrapDispatchCycles
+//	guard_free— everything else (the program's real work)
+//
+// The machine package builds the ledger analytically from its per-site
+// CheckCounts cells and its cycle model (obs sits below arch, so costs are
+// passed in); conservation is by construction and pinned by tests.
+
+// AttrSite is one trap site's row in the ledger.
+type AttrSite struct {
+	Method string `json:"method"`
+	Kind   string `json:"kind"` // "implicit" or "explicit"
+	Site   int    `json:"site"` // TrapSite ordinal within the method (1-based; 0 = unnumbered)
+	Op     string `json:"op"`   // instruction mnemonic at the site
+	Execs  int64  `json:"execs"`
+	Nulls  int64  `json:"nulls"`
+	Cycles int64  `json:"cycles"` // check cost attributed to the site (incl. software throws)
+}
+
+// Attribution is one run's complete trap-cost ledger.
+type Attribution struct {
+	TotalCycles    int64      `json:"total_cycles"`
+	ImplicitCycles int64      `json:"implicit_cycles"`
+	ExplicitCycles int64      `json:"explicit_cycles"`
+	TrapCycles     int64      `json:"trap_cycles"`
+	GuardFree      int64      `json:"guard_free_cycles"`
+	TrapsTaken     int64      `json:"traps_taken"`
+	Sites          []AttrSite `json:"sites,omitempty"`
+}
+
+// SortSites orders the ledger deterministically: method, then kind
+// (explicit before implicit, alphabetical), then site ordinal, then op.
+func SortSites(sites []AttrSite) {
+	sort.Slice(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Op < b.Op
+	})
+}
+
+// Sum returns the bucket total; conservation means Sum() == TotalCycles.
+func (a *Attribution) Sum() int64 {
+	return a.ImplicitCycles + a.ExplicitCycles + a.TrapCycles + a.GuardFree
+}
+
+// Conserves reports whether the ledger's buckets sum exactly to the run's
+// reported cycles with a non-negative remainder.
+func (a *Attribution) Conserves() bool {
+	return a != nil && a.Sum() == a.TotalCycles && a.GuardFree >= 0
+}
+
+// Render writes the ledger's text form under indent, one line per bucket and
+// one per site.
+func (a *Attribution) Render(b *strings.Builder, indent string) {
+	if a == nil {
+		return
+	}
+	fmt.Fprintf(b, "%strap-cost attribution: total %d = implicit %d + explicit %d + trap %d + guard-free %d (traps %d)\n",
+		indent, a.TotalCycles, a.ImplicitCycles, a.ExplicitCycles, a.TrapCycles, a.GuardFree, a.TrapsTaken)
+	for _, s := range a.Sites {
+		fmt.Fprintf(b, "%s  %-28s %-8s site %2d %-12s execs %10d nulls %6d cycles %10d\n",
+			indent, s.Method, s.Kind, s.Site, s.Op, s.Execs, s.Nulls, s.Cycles)
+	}
+}

@@ -18,15 +18,24 @@ import (
 // An ExecProfile is owned by one Machine and is not safe for concurrent use,
 // matching the Machine itself.
 type ExecProfile struct {
-	funcs  map[*ir.Func][]int64
+	funcs  map[*ir.Func]*blockCounters
 	order  []*ir.Func // registration order: deterministic iteration
 	checks map[*ir.Instr]*CheckCounts
+}
+
+// blockCounters is one shared box of per-block entry counts. Block-aligned
+// artifacts of the same method (conservative vs speculative vs demoted
+// recompiles, interpreter fn vs compiled fn across tier promotions and deopt
+// transfers) alias onto ONE box via BindCounters, so the profile survives
+// artifact swaps instead of fragmenting across generations.
+type blockCounters struct {
+	counts []int64
 }
 
 // NewExecProfile returns an empty profile.
 func NewExecProfile() *ExecProfile {
 	return &ExecProfile{
-		funcs:  make(map[*ir.Func][]int64),
+		funcs:  make(map[*ir.Func]*blockCounters),
 		checks: make(map[*ir.Instr]*CheckCounts),
 	}
 }
@@ -66,20 +75,60 @@ func (p *ExecProfile) PeekCheck(in *ir.Instr) *CheckCounts { return p.checks[in]
 
 // Counters returns fn's per-block entry counters, indexed by block ID.
 func (p *ExecProfile) Counters(fn *ir.Func) []int64 {
-	if c, ok := p.funcs[fn]; ok {
-		return c
-	}
-	c := make([]int64, fn.MaxBlockID()+1)
-	p.funcs[fn] = c
-	p.order = append(p.order, fn)
-	return c
+	return p.box(fn).counts
 }
 
-// TotalBlocks sums every block-entry count.
+func (p *ExecProfile) box(fn *ir.Func) *blockCounters {
+	if b, ok := p.funcs[fn]; ok {
+		return b
+	}
+	b := &blockCounters{counts: make([]int64, fn.MaxBlockID()+1)}
+	p.funcs[fn] = b
+	p.order = append(p.order, fn)
+	return b
+}
+
+// BindCounters aliases fn2's block counters onto fn's box, so a block-aligned
+// recompile of the same method keeps accumulating into one profile across
+// tier promotions, OSR entries, and deopt transfers. If fn2 already counted
+// into a box of its own, those entries merge into fn's box first (block IDs
+// line up by the block-aligned contract). A size mismatch means the artifacts
+// are NOT block-aligned; the bind is refused and fn2 keeps separate counters.
+func (p *ExecProfile) BindCounters(fn2, fn *ir.Func) {
+	if fn2 == fn {
+		return
+	}
+	dst := p.box(fn)
+	if prev, ok := p.funcs[fn2]; ok {
+		if prev == dst {
+			return
+		}
+		if len(prev.counts) != len(dst.counts) {
+			return
+		}
+		for i, v := range prev.counts {
+			dst.counts[i] += v
+		}
+		prev.counts = nil // emptied: the box stays in order but counts nothing
+	} else if fn2.MaxBlockID()+1 != len(dst.counts) {
+		return
+	} else {
+		p.order = append(p.order, fn2)
+	}
+	p.funcs[fn2] = dst
+}
+
+// TotalBlocks sums every block-entry count. Aliased functions share one box,
+// which is summed once.
 func (p *ExecProfile) TotalBlocks() int64 {
 	var n int64
-	for _, c := range p.funcs {
-		for _, v := range c {
+	seen := make(map[*blockCounters]bool, len(p.funcs))
+	for _, b := range p.funcs {
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, v := range b.counts {
 			n += v
 		}
 	}
@@ -98,8 +147,14 @@ type HotBlock struct {
 // count descending, then method name, then block name.
 func (p *ExecProfile) Hot(n int) []HotBlock {
 	var all []HotBlock
+	seen := make(map[*blockCounters]bool, len(p.funcs))
 	for _, fn := range p.order {
-		counters := p.funcs[fn]
+		box := p.funcs[fn]
+		if box == nil || seen[box] {
+			continue // a later generation aliased onto an earlier box
+		}
+		seen[box] = true
+		counters := box.counts
 		name := funcLabel(fn)
 		for _, b := range fn.Blocks {
 			if b.ID < len(counters) && counters[b.ID] > 0 {

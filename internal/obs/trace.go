@@ -8,9 +8,10 @@ import (
 )
 
 // Event is one Chrome trace-event (the "Trace Event Format" consumed by
-// Perfetto and chrome://tracing). Only complete events (ph "X") are emitted:
-// they carry their own duration, and viewers nest them by containment within
-// the same pid/tid lane.
+// Perfetto and chrome://tracing). Two phases are emitted: complete events
+// (ph "X") carry their own duration and nest by containment within the same
+// pid/tid lane; instant events (ph "i", scope "t") mark adaptive decisions
+// as zero-width ticks on the cell's lane.
 type Event struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
@@ -19,6 +20,7 @@ type Event struct {
 	Dur  float64        `json:"dur"`
 	PID  int            `json:"pid"`
 	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope ("t" = thread)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -53,6 +55,26 @@ func (t *Trace) Span(tid int64, cat, name string, start time.Time, dur time.Dura
 		Dur:  float64(dur) / float64(time.Microsecond),
 		PID:  1,
 		TID:  tid,
+		Args: args,
+	}
+	t.mu.Lock()
+	t.ev = append(t.ev, e)
+	t.mu.Unlock()
+}
+
+// Instant records one zero-width thread-scoped instant event (ph "i") on the
+// given lane — the Perfetto form of an adaptive decision from the flight
+// recorder. at is the wall position on the lane; the decision's logical
+// clocks travel in args.
+func (t *Trace) Instant(tid int64, cat, name string, at time.Time, args map[string]any) {
+	e := Event{
+		Name: name,
+		Cat:  cat,
+		Ph:   "i",
+		TS:   float64(at.Sub(t.start)) / float64(time.Microsecond),
+		PID:  1,
+		TID:  tid,
+		S:    "t",
 		Args: args,
 	}
 	t.mu.Lock()
